@@ -1,0 +1,15 @@
+"""Ablation benches: each WholeGraph design choice vs its alternative.
+
+Covers the DESIGN.md ablation row: hash-table vs sort-based AppendUnique
+(§III-C2), duplicate-count atomic elision in the g-SpMM backward (§III-C4),
+and GPUDirect-P2P vs Unified-Memory storage (§II-B / Table I).
+"""
+
+from repro.experiments import ablations
+from benchmarks.conftest import run_once
+
+
+def test_ablations(benchmark, emit):
+    results = run_once(benchmark, ablations.run, num_nodes=20_000)
+    emit("ablations", ablations.report(results))
+    ablations.check_shape(results)

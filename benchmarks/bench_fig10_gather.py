@@ -1,0 +1,10 @@
+"""Regenerates paper Fig. 10: shared-memory vs NCCL-based gather."""
+
+from repro.experiments import fig10_gather
+from benchmarks.conftest import run_once
+
+
+def test_fig10_gather(benchmark, emit):
+    rows = run_once(benchmark, fig10_gather.run)
+    emit("fig10_gather", fig10_gather.report(rows))
+    fig10_gather.check_shape(rows)

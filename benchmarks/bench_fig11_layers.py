@@ -1,0 +1,11 @@
+"""Regenerates paper Fig. 11: WholeGraph data path + third-party layers."""
+
+from repro.experiments import fig11_layers
+from benchmarks.conftest import run_once
+
+
+def test_fig11_layers(benchmark, emit):
+    rows = run_once(benchmark, fig11_layers.run,
+                    num_nodes=30_000, iterations=2)
+    emit("fig11_layers", fig11_layers.report(rows))
+    fig11_layers.check_shape(rows)

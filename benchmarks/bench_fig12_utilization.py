@@ -1,0 +1,11 @@
+"""Regenerates paper Fig. 12: GPU utilization traces during training."""
+
+from repro.experiments import fig12_utilization
+from benchmarks.conftest import run_once
+
+
+def test_fig12_utilization(benchmark, emit):
+    traces = run_once(benchmark, fig12_utilization.run,
+                      num_nodes=20_000, iterations=6)
+    emit("fig12_utilization", fig12_utilization.report(traces))
+    fig12_utilization.check_shape(traces)

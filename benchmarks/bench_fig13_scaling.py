@@ -1,0 +1,11 @@
+"""Regenerates paper Fig. 13: multi-node scaling of WholeGraph."""
+
+from repro.experiments import fig13_scaling
+from benchmarks.conftest import run_once
+
+
+def test_fig13_scaling(benchmark, emit):
+    rows = run_once(benchmark, fig13_scaling.run,
+                    num_nodes=20_000, iterations=2)
+    emit("fig13_scaling", fig13_scaling.report(rows))
+    fig13_scaling.check_shape(rows)

@@ -1,0 +1,11 @@
+"""Regenerates paper Fig. 7: DGL vs WholeGraph accuracy per epoch."""
+
+from repro.experiments import fig7_accuracy_curve
+from benchmarks.conftest import run_once
+
+
+def test_fig7_accuracy_curve(benchmark, emit):
+    curves = run_once(benchmark, fig7_accuracy_curve.run,
+                      num_nodes=6000, epochs=8)
+    emit("fig7_accuracy_curve", fig7_accuracy_curve.report(curves))
+    fig7_accuracy_curve.check_shape(curves)

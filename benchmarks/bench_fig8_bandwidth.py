@@ -1,0 +1,10 @@
+"""Regenerates paper Fig. 8: DSM random-read bandwidth vs segment size."""
+
+from repro.experiments import fig8_bandwidth
+from benchmarks.conftest import run_once
+
+
+def test_fig8_bandwidth(benchmark, emit):
+    pts = run_once(benchmark, fig8_bandwidth.run)
+    emit("fig8_bandwidth", fig8_bandwidth.report(pts))
+    fig8_bandwidth.check_shape(pts)

@@ -1,0 +1,11 @@
+"""Regenerates paper Fig. 9: epoch-time breakdown per framework."""
+
+from repro.experiments import fig9_breakdown
+from benchmarks.conftest import run_once
+
+
+def test_fig9_breakdown(benchmark, emit):
+    rows = run_once(benchmark, fig9_breakdown.run,
+                    num_nodes=30_000, iterations=2)
+    emit("fig9_breakdown", fig9_breakdown.report(rows))
+    fig9_breakdown.check_shape(rows)

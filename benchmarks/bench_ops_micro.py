@@ -1,0 +1,59 @@
+"""Microbenchmarks of the core WholeGraph ops (host wall-clock).
+
+Unlike the table/figure benches these measure *this implementation's*
+throughput (useful for tracking regressions in the vectorised kernels),
+not the simulated DGX times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ops.append_unique import append_unique
+from repro.ops.sampling import batch_sample_without_replacement
+from repro.ops.segment import scatter_add_rows, segment_sum
+from repro.ops.spmm import gspmm_backward_features, gspmm_sum
+
+RNG = np.random.default_rng(0)
+
+
+def test_bench_parallel_sampler(benchmark):
+    counts = RNG.integers(30, 200, size=20_000)
+    benchmark(
+        batch_sample_without_replacement, counts, 30,
+        np.random.default_rng(1),
+    )
+
+
+def test_bench_append_unique(benchmark):
+    targets = RNG.choice(1_000_000, size=5_000, replace=False)
+    neighbors = RNG.integers(0, 1_000_000, size=150_000)
+    benchmark(append_unique, targets, neighbors)
+
+
+def test_bench_segment_sum(benchmark):
+    sizes = RNG.integers(0, 60, size=20_000)
+    indptr = np.concatenate(([0], np.cumsum(sizes)))
+    values = RNG.standard_normal((int(indptr[-1]), 64)).astype(np.float32)
+    benchmark(segment_sum, values, indptr)
+
+
+def test_bench_scatter_add(benchmark):
+    idx = RNG.integers(0, 50_000, size=500_000)
+    vals = RNG.standard_normal((500_000, 32)).astype(np.float32)
+    benchmark(scatter_add_rows, 50_000, idx, vals)
+
+
+def test_bench_gspmm_forward(benchmark):
+    sizes = RNG.integers(1, 40, size=20_000)
+    indptr = np.concatenate(([0], np.cumsum(sizes)))
+    indices = RNG.integers(0, 60_000, size=int(indptr[-1]))
+    x = RNG.standard_normal((60_000, 128)).astype(np.float32)
+    benchmark(gspmm_sum, indptr, indices, x)
+
+
+def test_bench_gspmm_backward(benchmark):
+    sizes = RNG.integers(1, 40, size=20_000)
+    indptr = np.concatenate(([0], np.cumsum(sizes)))
+    indices = RNG.integers(0, 60_000, size=int(indptr[-1]))
+    g = RNG.standard_normal((20_000, 128)).astype(np.float32)
+    benchmark(gspmm_backward_features, indptr, indices, g, 60_000)

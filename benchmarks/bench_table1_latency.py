@@ -1,0 +1,10 @@
+"""Regenerates paper Table I: UM vs GPUDirect P2P pointer-chase latency."""
+
+from repro.experiments import table1_latency
+from benchmarks.conftest import run_once
+
+
+def test_table1_latency(benchmark, emit):
+    rows = run_once(benchmark, table1_latency.run, num_accesses=20_000)
+    emit("table1_latency", table1_latency.report(rows))
+    table1_latency.check_shape(rows)

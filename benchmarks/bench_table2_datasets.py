@@ -1,0 +1,10 @@
+"""Regenerates paper Table II: evaluation dataset statistics."""
+
+from repro.experiments import table2_datasets
+from benchmarks.conftest import run_once
+
+
+def test_table2_datasets(benchmark, emit):
+    rows = run_once(benchmark, table2_datasets.run, num_nodes=20_000)
+    emit("table2_datasets", table2_datasets.report(rows))
+    table2_datasets.check_shape(rows)

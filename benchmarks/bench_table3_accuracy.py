@@ -1,0 +1,11 @@
+"""Regenerates paper Table III: accuracy parity of PyG/DGL/WholeGraph."""
+
+from repro.experiments import table3_accuracy
+from benchmarks.conftest import run_once
+
+
+def test_table3_accuracy(benchmark, emit):
+    rows = run_once(benchmark, table3_accuracy.run,
+                    num_nodes=5000, epochs=8)
+    emit("table3_accuracy", table3_accuracy.report(rows))
+    table3_accuracy.check_shape(rows)

@@ -1,0 +1,10 @@
+"""Regenerates paper Table IV: per-GPU memory usage for ogbn-papers100M."""
+
+from repro.experiments import table4_memory
+from benchmarks.conftest import run_once
+
+
+def test_table4_memory(benchmark, emit):
+    rows = run_once(benchmark, table4_memory.run)
+    emit("table4_memory", table4_memory.report(rows))
+    table4_memory.check_shape(rows)

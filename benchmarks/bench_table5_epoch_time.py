@@ -1,0 +1,16 @@
+"""Regenerates paper Table V: epoch times and speedups (the headline).
+
+Full sweep: 4 datasets x 3 models x 3 frameworks.  Epoch times are
+extrapolated to the full-scale datasets from per-iteration measurements
+(see DESIGN.md §1).
+"""
+
+from repro.experiments import table5_epoch_time
+from benchmarks.conftest import run_once
+
+
+def test_table5_epoch_time(benchmark, emit):
+    rows = run_once(benchmark, table5_epoch_time.run,
+                    num_nodes=30_000, iterations=2)
+    emit("table5_epoch_time", table5_epoch_time.report(rows))
+    table5_epoch_time.check_shape(rows)

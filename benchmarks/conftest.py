@@ -1,0 +1,35 @@
+"""Benchmark-harness plumbing.
+
+Every bench regenerates one paper table/figure: it runs the experiment,
+prints the same rows the paper reports (straight to the terminal, bypassing
+capture), writes them under ``benchmarks/results/``, and asserts the
+paper-shape constraints.  Timing goes through pytest-benchmark so the
+harness also records wall-clock per experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a report to the live terminal and persist it to results/."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

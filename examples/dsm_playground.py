@@ -1,0 +1,97 @@
+"""Using the distributed-shared-memory library directly.
+
+The paper notes (§I) that treating the multi-GPU platform as a distributed
+shared memory is useful beyond GNN training.  This example drives
+`repro.dsm` as a standalone library:
+
+1. allocate a WholeTensor across 8 simulated GPUs (IPC exchange + pointer
+   tables, paper Fig. 3);
+2. compare GPUDirect-P2P vs Unified-Memory pointer chases (Table I);
+3. sweep the random-gather segment size and print the Fig. 8 curve;
+4. race the one-kernel shared-memory gather against the 5-step NCCL-style
+   gather (Fig. 4 / Fig. 10).
+
+Run:  python examples/dsm_playground.py
+"""
+
+import numpy as np
+
+from repro.config import GB
+from repro.dsm import Communicator, UnifiedMemorySpace, WholeTensor
+from repro.hardware import SimNode, costmodel
+from repro.ops.gather import distributed_memory_gather, shared_memory_gather
+from repro.telemetry.report import format_table
+from repro.utils.units import format_seconds
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    node = SimNode()
+
+    # -- 1. a shared 2-D tensor across all GPUs --------------------------------
+    tensor = WholeTensor(node, num_rows=200_000, num_cols=64, tag="demo")
+    host = rng.standard_normal((200_000, 64)).astype(np.float32)
+    tensor.load_from_host(host)
+    print(
+        f"WholeTensor: {tensor.shape}, {tensor.total_bytes/2**20:.0f} MiB "
+        f"across {node.num_gpus} GPUs "
+        f"(setup charged {format_seconds(tensor.memory.setup_time)}; "
+        f"pointer table = {tensor.memory.pointer_tables[0].nbytes} B/GPU)"
+    )
+    rows = rng.integers(0, 200_000, size=1000)
+    assert np.array_equal(tensor.gather(rows, rank=3), host[rows])
+    print("gather from rank 3 verified against host data\n")
+
+    # -- 2. P2P vs UM pointer chase ----------------------------------------------
+    chase_rows = []
+    for size_gb in (8, 32, 128):
+        um = UnifiedMemorySpace(node, size_gb * GB)
+        t_um = um.access(rng.integers(0, size_gb * GB, 4000), rank=0)
+        t_p2p = costmodel.pointer_chase_time(4000, size_gb * GB, "p2p")
+        chase_rows.append(
+            [size_gb, t_um / 4000 * 1e6, t_p2p / 4000 * 1e6,
+             f"{t_um / t_p2p:.1f}x"]
+        )
+    print(format_table(
+        ["Footprint (GB)", "UM (us/access)", "P2P (us/access)", "UM penalty"],
+        chase_rows,
+        title="Dependent random accesses (Table I experiment)",
+    ))
+
+    # -- 3. segment-size bandwidth sweep --------------------------------------------
+    bw_rows = []
+    for seg in (16, 64, 256, 1024):
+        cols = seg // 4
+        t = WholeTensor(node, 100_000, cols, tag="bw", charge_setup=False)
+        per_rank = [
+            rng.integers(0, 100_000, size=4 * 2**20 // seg)
+            for _ in range(node.num_gpus)
+        ]
+        _, elapsed = shared_memory_gather(t, per_rank)
+        bus = (per_rank[0].size * seg) * 7 / 8 / elapsed
+        bw_rows.append([seg, bus / GB])
+        t.free()
+    print()
+    print(format_table(
+        ["Segment (B)", "BusBW (GB/s)"], bw_rows,
+        title="Random-gather bandwidth vs segment size (Fig. 8 experiment)",
+    ))
+
+    # -- 4. shared-memory vs NCCL gather ----------------------------------------------
+    per_rank = [rng.integers(0, 200_000, size=50_000) for _ in range(8)]
+    _, t_shared = shared_memory_gather(tensor, per_rank)
+    _, trace = distributed_memory_gather(tensor, per_rank, Communicator(node))
+    print(
+        f"\nglobal gather of 50k x 256 B rows/GPU: "
+        f"shared-memory {format_seconds(t_shared)} vs "
+        f"NCCL-style {format_seconds(trace.total_time)} "
+        f"({trace.total_time / t_shared:.2f}x slower; steps: "
+        + ", ".join(
+            f"{k}={format_seconds(v)}" for k, v in trace.step_times.items()
+        )
+        + ")"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Graph classification — "predicting categories of ... even graphs" (§I).
+
+Batches many small graphs block-diagonally, runs full-graph GIN message
+passing over the whole batch in one g-SpMM sweep (full-batch on small
+graphs is the degenerate case of sampling with unlimited fanout), pools
+node embeddings per graph with a mean readout, and classifies.
+
+The synthetic task is structural — rings vs dense random graphs — so node
+features are pure noise and only the aggregation can separate the classes.
+
+Run:  python examples/graph_classification.py
+"""
+
+import numpy as np
+
+from repro.graph.batch import (
+    batch_graphs,
+    generate_graph_classification_dataset,
+)
+from repro.nn import Adam, Linear, Module, Tensor
+from repro.nn import functional as F
+from repro.nn.layers import GINConv
+from repro.train.metrics import accuracy
+from repro.utils.rng import spawn_rng
+
+
+class GraphClassifier(Module):
+    """Two GIN layers, mean readout, linear head."""
+
+    def __init__(self, in_dim, hidden, num_classes, rng):
+        super().__init__()
+        self.conv1 = GINConv(in_dim, hidden, rng)
+        self.conv2 = GINConv(hidden, hidden, rng)
+        self.head = Linear(hidden, num_classes, rng)
+
+    def forward(self, batch, x: Tensor) -> Tensor:
+        block = batch.full_graph_block()
+        h = F.relu(self.conv1(block, x))
+        h = F.relu(self.conv2(block, h))
+        pooled = F.graph_readout(h, batch.graph_offsets, mode="mean")
+        return self.head(pooled)
+
+
+def main() -> None:
+    rng = spawn_rng(11, "graphcls")
+    train_g, train_x, train_y = generate_graph_classification_dataset(
+        256, rng
+    )
+    test_g, test_x, test_y = generate_graph_classification_dataset(128, rng)
+
+    model = GraphClassifier(8, 32, 2, rng)
+    opt = Adam(model.parameters(), lr=5e-3)
+    batch_size = 32
+
+    print(f"training on {len(train_g)} graphs (rings vs dense), "
+          f"testing on {len(test_g)}")
+    for epoch in range(8):
+        order = rng.permutation(len(train_g))
+        losses = []
+        for i in range(0, len(order), batch_size):
+            idx = order[i : i + batch_size]
+            batch = batch_graphs([train_g[j] for j in idx])
+            x = Tensor(np.concatenate([train_x[j] for j in idx]))
+            logits = model(batch, x)
+            loss = F.cross_entropy(logits, train_y[idx])
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+
+        batch = batch_graphs(test_g)
+        x = Tensor(np.concatenate(test_x))
+        acc = accuracy(model(batch, x).data, test_y)
+        print(f"epoch {epoch}: loss={np.mean(losses):.4f} test_acc={acc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Link prediction with WholeGraph — the paper's other headline GNN task.
+
+GNNs "predict missing links between nodes, i.e. link prediction" (paper
+§I).  This example trains a GraphSage encoder on the multi-GPU store with a
+dot-product edge decoder:
+
+1. sample positive edges from the graph and uniform negative pairs
+   (rejection-sampled against the adjacency);
+2. encode both endpoints with sampled multi-layer GraphSage (the endpoints
+   form the seed batch; WholeGraph's prefix property puts their embeddings
+   in the first rows);
+3. score pairs by embedding dot product and minimise binary cross-entropy;
+4. report ROC-AUC on held-out positives/negatives.
+
+Run:  python examples/link_prediction.py
+"""
+
+import numpy as np
+
+from repro.graph import MultiGpuGraphStore, load_dataset
+from repro.hardware import SimNode
+from repro.nn import Adam, Tensor, build_model
+from repro.nn import functional as F
+from repro.ops.negative_sampling import (
+    sample_negative_edges,
+    sample_positive_edges,
+)
+from repro.ops.neighbor_sampler import NeighborSampler
+from repro.train.metrics import roc_auc
+from repro.utils.rng import spawn_rng
+
+
+def encode_pairs(model, sampler, store, src, dst, rng, train_rng=None):
+    """Embed the endpoints of the given pairs; returns (h, left, right)."""
+    seeds, inverse = np.unique(np.concatenate([src, dst]),
+                               return_inverse=True)
+    sg = sampler.sample(seeds, 0, rng)
+    x = Tensor(store.feature_tensor.gather_no_cost(sg.input_nodes))
+    h = model(sg, x, train_rng)
+    left = inverse[: src.shape[0]]
+    right = inverse[src.shape[0]:]
+    return h, left, right
+
+
+def main() -> None:
+    rng = spawn_rng(7, "linkpred")
+    dataset = load_dataset("ogbn-products", num_nodes=4000, seed=3,
+                           num_classes=8)
+    node = SimNode()
+    store = MultiGpuGraphStore(node, dataset, seed=0)
+    print(
+        f"link prediction on {dataset.name} (scaled): "
+        f"{store.num_nodes} nodes, {store.num_edges} directed edges"
+    )
+
+    sampler = NeighborSampler(store, [8, 8], charge=False)
+    # encoder output = embedding space (no classification head)
+    embed_dim = 32
+    model = build_model("graphsage", store.feature_dim, embed_dim, rng,
+                        hidden=64, num_layers=2, dropout=0.1)
+    opt = Adam(model.parameters(), lr=3e-3)
+    # scale scores like scaled dot-product attention so BCE starts sane
+    score_scale = 1.0 / np.sqrt(embed_dim)
+
+    batch_pairs = 256
+    for step in range(60):
+        ps, pd = sample_positive_edges(store.csr, batch_pairs, rng)
+        ns, nd = sample_negative_edges(store.csr, batch_pairs, rng)
+        src = np.concatenate([ps, ns])
+        dst = np.concatenate([pd, nd])
+        labels = np.concatenate(
+            [np.ones(batch_pairs), np.zeros(batch_pairs)]
+        )
+        h, left, right = encode_pairs(model, sampler, store, src, dst, rng,
+                                      train_rng=rng)
+        scores = F.pairwise_dot(h, left, right) * score_scale
+        loss = F.binary_cross_entropy_with_logits(scores, labels)
+        model.zero_grad()
+        loss.backward()
+        opt.step()
+        if step % 10 == 0 or step == 59:
+            auc = roc_auc(scores.data, labels)
+            print(f"step {step:2d}: loss={float(loss.data):.4f} "
+                  f"train-batch AUC={auc:.3f}")
+
+    # held-out evaluation with fresh pairs
+    model.eval()
+    ps, pd = sample_positive_edges(store.csr, 1000, rng)
+    ns, nd = sample_negative_edges(store.csr, 1000, rng)
+    h, left, right = encode_pairs(
+        model, sampler, store,
+        np.concatenate([ps, ns]), np.concatenate([pd, nd]), rng,
+    )
+    scores = F.pairwise_dot(h, left, right).data * score_scale
+    labels = np.concatenate([np.ones(1000), np.zeros(1000)])
+    print(f"\nheld-out ROC-AUC: {roc_auc(scores, labels):.3f}")
+
+
+if __name__ == "__main__":
+    main()

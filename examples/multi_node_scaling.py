@@ -1,0 +1,63 @@
+"""Multi-node scaling: how fast can 8 DGX nodes train papers100M?
+
+Reproduces the paper's §IV-D anchor: "we can train 80 epochs of a 3-layer
+GraphSAGE model with a hidden size of 256 and a sample count of 30,30,30 on
+the ogbn-papers100M dataset in 66 seconds with 8 DGX-A100 servers."
+
+Measures the single-node iteration time at the paper's hyper-parameters,
+predicts the 1/2/4/8-node epoch times with the replicated-store +
+hierarchical-all-reduce model (paper §III-D), and prints the 80-epoch
+figure next to the paper's.
+
+Run:  python examples/multi_node_scaling.py
+"""
+
+from repro.cluster import scaling_curve
+from repro.experiments.common import measure_wholegraph
+from repro.graph.datasets import dataset_spec
+from repro.telemetry.report import format_table
+
+DATASET = "ogbn-papers100M"
+MODEL = "graphsage"
+
+
+def main() -> None:
+    spec = dataset_spec(DATASET)
+    print(f"measuring single-node iteration time for {MODEL} on {DATASET}…")
+    measured, _ = measure_wholegraph(
+        DATASET, MODEL, num_nodes=20_000, iterations=3
+    )
+    print(
+        f"single-node: {measured.iter_time*1e3:.2f} ms/iteration, "
+        f"{spec.full_iterations_per_epoch} iterations per full-scale epoch\n"
+    )
+
+    grad_nbytes = (
+        (spec.feature_dim * 256 + 256 * 256 + 256 * spec.num_classes) * 4
+    )
+    points = scaling_curve(
+        measured.iter_time,
+        spec.full_iterations_per_epoch,
+        grad_nbytes,
+        node_counts=(1, 2, 4, 8),
+    )
+    print(format_table(
+        ["Nodes", "GPUs", "iters/epoch", "epoch time (s)", "speedup",
+         "efficiency"],
+        [
+            [p.num_nodes, p.num_nodes * 8, p.iterations, p.epoch_time,
+             f"{p.speedup:.2f}x", f"{100*p.efficiency:.1f}%"]
+            for p in points
+        ],
+        title="Fig. 13-style scaling (replicated store, gradient-only traffic)",
+    ))
+
+    t80 = 80 * points[-1].epoch_time
+    print(
+        f"\n80 epochs on 8 nodes: {t80:.0f} s simulated "
+        "(paper measured 66 s on Selene)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""WholeGraph (SC'22) reproduction — public API.
+
+The common entry points re-exported for convenience::
+
+    from repro import SimNode, load_dataset, MultiGpuGraphStore, WholeGraphTrainer
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.  Submodules import :mod:`repro.config` at definition
+time, so the re-exports below are lazy (via ``__getattr__``) to keep
+``import repro.config`` cycle-free.
+"""
+
+__version__ = "1.0.0"
+
+_EXPORTS = {
+    "SimNode": ("repro.hardware", "SimNode"),
+    "MultiGpuGraphStore": ("repro.graph", "MultiGpuGraphStore"),
+    "load_dataset": ("repro.graph", "load_dataset"),
+    "Communicator": ("repro.dsm", "Communicator"),
+    "WholeMemory": ("repro.dsm", "WholeMemory"),
+    "WholeTensor": ("repro.dsm", "WholeTensor"),
+    "WholeGraphTrainer": ("repro.train", "WholeGraphTrainer"),
+}
+
+__all__ = ["__version__", *_EXPORTS]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

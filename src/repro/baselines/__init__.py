@@ -1,0 +1,28 @@
+"""Baseline GNN frameworks: DGL-like and PyG-like host-memory pipelines.
+
+The paper compares WholeGraph against DGL v0.7.2 and PyG v2.0.2, both of
+which store the graph and features in host memory, sample and gather on the
+CPU, and ship mini-batch tensors to the GPUs over PCIe (paper Fig. 1).
+This package reproduces that *architecture*: the math is identical to
+WholeGraph's (shared functional ops), but the simulated time is charged to
+the host pipeline and the GPUs idle while waiting for data — the source of
+the low, spiky utilization in Fig. 12.
+"""
+
+from repro.baselines.profiles import (
+    BaselineProfile,
+    DGL_PROFILE,
+    PYG_PROFILE,
+    profile_by_name,
+)
+from repro.baselines.host_store import HostGraphStore
+from repro.baselines.cpu_trainer import CpuBaselineTrainer
+
+__all__ = [
+    "BaselineProfile",
+    "DGL_PROFILE",
+    "PYG_PROFILE",
+    "profile_by_name",
+    "HostGraphStore",
+    "CpuBaselineTrainer",
+]

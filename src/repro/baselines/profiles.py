@@ -1,0 +1,57 @@
+"""Throughput profiles of the baseline frameworks.
+
+The constants live in :mod:`repro.config` (with provenance); a profile
+bundles the ones describing one framework's host pipeline.  DGL 0.7's
+sampler is multithreaded C++ (the paper compiles it from source with the
+PyTorch allocator to avoid cudaMalloc churn); PyG 2.0's sampling/collation
+path does far more Python-side work per batch — roughly the order-of-
+magnitude gap Table V shows between the two baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+
+
+@dataclass(frozen=True)
+class BaselineProfile:
+    """Host-pipeline throughput description of one framework."""
+
+    name: str
+    #: CPU neighbor-sampling throughput (sampled edges / s, per worker)
+    sample_edges_per_s: float
+    #: CPU feature-gather throughput (bytes / s, per worker)
+    gather_bytes_per_s: float
+    #: fixed per-iteration host overhead (dataloader wakeup, Python glue)
+    iter_overhead: float
+    #: GPU-layer compute multiplier vs WholeGraph's fused layers (§IV-C5)
+    layer_cost_factor: float
+
+
+DGL_PROFILE = BaselineProfile(
+    name="DGL",
+    sample_edges_per_s=config.CPU_SAMPLE_EDGES_PER_S_DGL,
+    gather_bytes_per_s=config.CPU_GATHER_BYTES_PER_S_DGL,
+    iter_overhead=config.HOST_ITER_OVERHEAD_DGL,
+    layer_cost_factor=config.LAYER_COST_FACTOR_DGL,
+)
+
+PYG_PROFILE = BaselineProfile(
+    name="PyG",
+    sample_edges_per_s=config.CPU_SAMPLE_EDGES_PER_S_PYG,
+    gather_bytes_per_s=config.CPU_GATHER_BYTES_PER_S_PYG,
+    iter_overhead=config.HOST_ITER_OVERHEAD_PYG,
+    layer_cost_factor=config.LAYER_COST_FACTOR_PYG,
+)
+
+
+def profile_by_name(name: str) -> BaselineProfile:
+    """Look up a profile by framework name (case-insensitive)."""
+    key = name.lower()
+    if key == "dgl":
+        return DGL_PROFILE
+    if key == "pyg":
+        return PYG_PROFILE
+    raise KeyError(f"unknown baseline {name!r}; expected 'DGL' or 'PyG'")

@@ -1,0 +1,6 @@
+"""Multi-node scaling (paper §III-D, Fig. 13): analytic model + measured trainer."""
+
+from repro.cluster.multinode import MultiNodeCluster, scaling_curve
+from repro.cluster.trainer import ClusterTrainer
+
+__all__ = ["MultiNodeCluster", "scaling_curve", "ClusterTrainer"]

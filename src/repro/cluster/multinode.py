@@ -1,0 +1,103 @@
+"""Multi-node data-parallel scaling (paper §III-D / Fig. 13).
+
+WholeGraph scales out by *replicating* the graph store on every machine
+node: sampling and gathering stay node-local, the only inter-node traffic
+is the gradient all-reduce.  Epoch time on ``k`` nodes is therefore
+
+    T(k) = ceil(iters / k) · (t_iter_local + Δ_allreduce(k))
+
+where ``t_iter_local`` is the measured single-node iteration time and
+``Δ_allreduce(k)`` replaces the intra-node NVLink all-reduce with a
+hierarchical reduce whose inter-node stage rides the InfiniBand NICs.
+Gradients are a few MB while iterations are milliseconds, so the curve is
+near-linear — exactly the Fig. 13 shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware import costmodel
+from repro.hardware.spec import NodeSpec, dgx_a100
+
+
+@dataclass
+class ScalingPoint:
+    """Predicted epoch time on ``num_nodes`` machines."""
+
+    num_nodes: int
+    iterations: int
+    iter_time: float
+    epoch_time: float
+    speedup: float
+    efficiency: float
+
+
+class MultiNodeCluster:
+    """A cluster of identical nodes, each holding a full store replica."""
+
+    def __init__(self, spec: NodeSpec | None = None):
+        self.spec = spec if spec is not None else dgx_a100()
+
+    def allreduce_delta(self, grad_nbytes: int, num_nodes: int) -> float:
+        """Extra all-reduce time of the inter-node stage vs single-node.
+
+        Hierarchical all-reduce: intra-node reduce-scatter/all-gather over
+        NVLink (already in the measured iteration time), plus an inter-node
+        ring over the per-node NIC aggregate for one GPU's shard.
+        """
+        if num_nodes <= 1:
+            return 0.0
+        shard = grad_nbytes / self.spec.num_gpus
+        return costmodel.allreduce_time(
+            shard,
+            num_nodes,
+            self.spec.inter_node.bandwidth,
+            self.spec.inter_node.latency,
+        )
+
+    def epoch_time(
+        self,
+        single_node_iter_time: float,
+        iterations_per_epoch: int,
+        grad_nbytes: int,
+        num_nodes: int,
+    ) -> float:
+        """Predicted epoch time on ``num_nodes`` nodes."""
+        iters = int(np.ceil(iterations_per_epoch / num_nodes))
+        return iters * (
+            single_node_iter_time + self.allreduce_delta(grad_nbytes, num_nodes)
+        )
+
+
+def scaling_curve(
+    single_node_iter_time: float,
+    iterations_per_epoch: int,
+    grad_nbytes: int,
+    node_counts=(1, 2, 4, 8),
+    spec: NodeSpec | None = None,
+) -> list[ScalingPoint]:
+    """Epoch-time speedups vs node count, normalised to one node."""
+    cluster = MultiNodeCluster(spec)
+    base = cluster.epoch_time(
+        single_node_iter_time, iterations_per_epoch, grad_nbytes, 1
+    )
+    points = []
+    for k in node_counts:
+        t = cluster.epoch_time(
+            single_node_iter_time, iterations_per_epoch, grad_nbytes, k
+        )
+        points.append(
+            ScalingPoint(
+                num_nodes=k,
+                iterations=int(np.ceil(iterations_per_epoch / k)),
+                iter_time=single_node_iter_time
+                + cluster.allreduce_delta(grad_nbytes, k),
+                epoch_time=t,
+                speedup=base / t,
+                efficiency=base / t / k,
+            )
+        )
+    return points

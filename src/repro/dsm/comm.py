@@ -1,0 +1,139 @@
+"""NCCL-style communicator over the *distributed-memory* view of the GPUs.
+
+WholeGraph's point is that GPUs can be used as a distributed shared memory
+instead of a distributed memory system.  This module implements the
+distributed-memory side of that comparison: explicit ``send``/``recv``,
+``allgather``, ``alltoallv`` and ``allreduce`` with software-managed
+buffers — the machinery the NCCL-based gather of Fig. 4 (left) needs.
+
+Collectives are synchronising: all ranks enter, each is charged its own
+traffic time over its NVLink trunk, then all ranks wait for the slowest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import config
+from repro.hardware import costmodel
+from repro.hardware.machine import SimNode
+
+
+class Communicator:
+    """Collective communication over the GPUs of one node."""
+
+    def __init__(self, node: SimNode, bandwidth: float | None = None,
+                 latency: float | None = None):
+        self.node = node
+        self.num_ranks = node.num_gpus
+        # NCCL sustains ~80% of the NVLink line rate on alltoall traffic
+        self.bandwidth = (
+            bandwidth
+            if bandwidth is not None
+            else node.spec.nvlink.bandwidth * config.NCCL_BW_EFFICIENCY
+        )
+        self.latency = (
+            latency if latency is not None else node.spec.nvlink.latency
+        )
+
+    # -- point to point --------------------------------------------------------
+
+    def send_recv(self, data: np.ndarray, src: int, dst: int,
+                  phase: str = "comm") -> np.ndarray:
+        """Explicit send from ``src`` to ``dst``; both ranks are charged."""
+        data = np.asarray(data)
+        t = costmodel.stream_transfer_time(
+            data.nbytes, self.bandwidth, self.latency
+        )
+        start = max(self.node.gpu_clock[src].now, self.node.gpu_clock[dst].now)
+        self.node.gpu_clock[src].wait_until(start)
+        self.node.gpu_clock[dst].wait_until(start)
+        self.node.gpu_clock[src].advance(t, phase=phase)
+        self.node.gpu_clock[dst].advance(t, phase=phase)
+        return data.copy()
+
+    # -- collectives ------------------------------------------------------------
+
+    def _enter(self) -> None:
+        self.node.sync()
+
+    def allgather(self, per_rank_objects: list, phase: str = "comm",
+                  nbytes_each: float = 64.0) -> list[list]:
+        """Every rank receives every rank's object.
+
+        Used for small metadata (IPC handles, counts); ``nbytes_each`` sets
+        the per-object wire size for costing.
+        """
+        self._check_ranks(per_rank_objects)
+        self._enter()
+        t = (
+            (self.num_ranks - 1) * self.latency
+            + (self.num_ranks - 1) * nbytes_each / self.bandwidth
+        )
+        for clock in self.node.gpu_clock:
+            clock.advance(t, phase=phase)
+        return [list(per_rank_objects) for _ in range(self.num_ranks)]
+
+    def alltoallv(
+        self, send: list[list[np.ndarray]], phase: str = "comm"
+    ) -> list[list[np.ndarray]]:
+        """Variable all-to-all: ``send[src][dst]`` -> ``recv[dst][src]``.
+
+        Each rank's time is its max of outgoing and incoming bytes over its
+        (full-duplex) NVLink trunk, plus per-peer message latency.
+        """
+        self._check_ranks(send)
+        for row in send:
+            self._check_ranks(row)
+        self._enter()
+        out_bytes = [sum(b.nbytes for b in row) for row in send]
+        in_bytes = [
+            sum(send[src][dst].nbytes for src in range(self.num_ranks))
+            for dst in range(self.num_ranks)
+        ]
+        recv = [
+            [np.asarray(send[src][dst]).copy() for src in range(self.num_ranks)]
+            for dst in range(self.num_ranks)
+        ]
+        for rank in range(self.num_ranks):
+            traffic = max(out_bytes[rank], in_bytes[rank])
+            t = (self.num_ranks - 1) * self.latency + traffic / self.bandwidth
+            self.node.gpu_clock[rank].advance(t, phase=phase)
+        self.node.sync()
+        return recv
+
+    def allreduce(
+        self, per_rank_arrays: list[np.ndarray], phase: str = "allreduce"
+    ) -> list[np.ndarray]:
+        """Ring all-reduce (sum); every rank receives the full sum."""
+        self._check_ranks(per_rank_arrays)
+        self._enter()
+        total = per_rank_arrays[0].astype(np.float64)
+        for a in per_rank_arrays[1:]:
+            total = total + a
+        result = total.astype(per_rank_arrays[0].dtype)
+        t = costmodel.allreduce_time(
+            result.nbytes, self.num_ranks, self.bandwidth, self.latency
+        )
+        for clock in self.node.gpu_clock:
+            clock.advance(t, phase=phase)
+        return [result.copy() for _ in range(self.num_ranks)]
+
+    def broadcast(self, data: np.ndarray, root: int,
+                  phase: str = "comm") -> list[np.ndarray]:
+        """Broadcast from ``root`` to all ranks (tree cost)."""
+        data = np.asarray(data)
+        self._enter()
+        steps = max(1, int(np.ceil(np.log2(max(self.num_ranks, 2)))))
+        t = steps * costmodel.stream_transfer_time(
+            data.nbytes, self.bandwidth, self.latency
+        )
+        for clock in self.node.gpu_clock:
+            clock.advance(t, phase=phase)
+        return [data.copy() for _ in range(self.num_ranks)]
+
+    def _check_ranks(self, seq) -> None:
+        if len(seq) != self.num_ranks:
+            raise ValueError(
+                f"expected one entry per rank ({self.num_ranks}), got {len(seq)}"
+            )

@@ -1,0 +1,267 @@
+"""WholeTensor: a typed 2-D array stored in WholeMemory.
+
+This is the object WholeGraph stores node features (and CSR arrays) in:
+rows are partitioned across GPUs in contiguous blocks, and any GPU can gather
+an arbitrary set of rows in a single "kernel" — the shared-memory global
+gather of paper §III-C3 (right side of Fig. 4).
+
+Two coupled behaviours:
+
+- **functional**: ``gather``/``scatter`` really move the data (NumPy fancy
+  indexing over the partition buffers);
+- **performance**: every access charges the calling GPU's clock using the
+  Fig. 8 segment-size bandwidth curve, with the remote fraction computed
+  from the actual owner distribution of the requested rows.
+
+``materialize=False`` creates an accounting-only tensor (no backing NumPy
+data) so full-scale footprints like ogbn-papers100M's 53 GB feature matrix
+can be modelled without 53 GB of host RAM (Table IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware import costmodel
+from repro.hardware.machine import SimNode
+from repro.dsm.whole_memory import WholeMemory, split_evenly
+
+
+class WholeTensor:
+    """A ``(num_rows, num_cols)`` array partitioned row-wise across GPUs."""
+
+    def __init__(
+        self,
+        node: SimNode,
+        num_rows: int,
+        num_cols: int,
+        dtype=np.float32,
+        tag: str = "wholetensor",
+        charge_setup: bool = True,
+        materialize: bool = True,
+        rows_per_rank: list[int] | None = None,
+        partition: str = "block",
+    ):
+        """``partition`` selects the row layout: ``"block"`` gives each rank
+        one contiguous range (the layout the graph store's hash partition
+        produces), ``"cyclic"`` deals rows round-robin (``owner = row % N``)
+        — the balanced layout for arbitrary access patterns, matching the
+        chunked/strided placements of the open-source WholeGraph.
+        ``rows_per_rank`` is only meaningful for block partitions."""
+        self.node = node
+        self.num_rows = int(num_rows)
+        self.num_cols = int(num_cols)
+        self.dtype = np.dtype(dtype)
+        self.row_bytes = self.num_cols * self.dtype.itemsize
+        self.materialized = materialize
+        if partition not in ("block", "cyclic"):
+            raise ValueError("partition must be 'block' or 'cyclic'")
+        if partition == "cyclic" and rows_per_rank is not None:
+            raise ValueError("cyclic partition derives rows_per_rank itself")
+        self.partition = partition
+
+        if partition == "cyclic":
+            n = node.num_gpus
+            rows_per_rank = [
+                (self.num_rows - r + n - 1) // n for r in range(n)
+            ]
+        elif rows_per_rank is None:
+            rows_per_rank = split_evenly(self.num_rows, node.num_gpus)
+        elif (
+            len(rows_per_rank) != node.num_gpus
+            or sum(rows_per_rank) != self.num_rows
+        ):
+            raise ValueError(
+                "rows_per_rank must have one entry per GPU and sum to num_rows"
+            )
+        self.rows_per_rank = [int(r) for r in rows_per_rank]
+        partition_bytes = [r * self.row_bytes for r in self.rows_per_rank]
+        if materialize:
+            self.memory = WholeMemory(
+                node, partition_bytes, tag=tag, charge_setup=charge_setup
+            )
+            self._parts = [
+                buf.view(self.dtype).reshape(rows, self.num_cols)
+                for buf, rows in zip(self.memory.buffers, self.rows_per_rank)
+            ]
+        else:
+            # accounting-only: reserve device memory and charge setup, but
+            # keep no host-side data.
+            self.memory = None
+            self._parts = None
+            self._allocations = [
+                node.gpu_memory[r].allocate(partition_bytes[r], tag=tag)
+                for r in range(node.num_gpus)
+            ]
+            if charge_setup:
+                t = costmodel.dsm_setup_time(sum(partition_bytes))
+                for clock in node.gpu_clock:
+                    clock.advance(t, phase="dsm_setup")
+                node.sync()
+
+        self.row_offsets = np.concatenate(
+            ([0], np.cumsum(self.rows_per_rank))
+        ).astype(np.int64)
+        #: cumulative access statistics (read by telemetry)
+        self.stats = {
+            "gather_calls": 0,
+            "gather_rows": 0,
+            "gather_bytes": 0,
+            "gather_remote_bytes": 0,
+            "gather_time": 0.0,
+        }
+
+    # -- layout --------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_rows * self.row_bytes
+
+    def rank_of_row(self, rows) -> np.ndarray:
+        """Owning rank of each (global) row index."""
+        return self._owners_and_local(np.asarray(rows, dtype=np.int64))[0]
+
+    def _owners_and_local(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map global rows to ``(owner rank, local index)`` per layout."""
+        if self.partition == "cyclic":
+            n = self.node.num_gpus
+            return rows % n, rows // n
+        owners = (
+            np.searchsorted(self.row_offsets, rows, side="right") - 1
+        ).astype(np.int64)
+        return owners, rows - self.row_offsets[owners]
+
+    def local_part(self, rank: int) -> np.ndarray:
+        """The rows resident on ``rank`` (a view, not a copy)."""
+        self._require_data()
+        return self._parts[rank]
+
+    def _require_data(self) -> None:
+        if not self.materialized:
+            raise RuntimeError(
+                "tensor was created with materialize=False (accounting only)"
+            )
+
+    def _check_rows(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.num_rows):
+            raise IndexError(
+                f"row index out of range [0, {self.num_rows}) "
+                f"(got min={rows.min()}, max={rows.max()})"
+            )
+        return rows
+
+    # -- bulk load (host -> device over PCIe) ---------------------------------
+
+    def load_from_host(self, array: np.ndarray, phase: str = "load") -> float:
+        """Populate the tensor from a host array, charging PCIe streams.
+
+        Each rank DMA-copies its own partition concurrently; returns the
+        simulated per-rank transfer time.
+        """
+        self._require_data()
+        array = np.ascontiguousarray(array, dtype=self.dtype).reshape(
+            self.num_rows, self.num_cols
+        )
+        t = 0.0
+        for rank in range(self.node.num_gpus):
+            if self.partition == "cyclic":
+                part = array[rank :: self.node.num_gpus]
+            else:
+                lo, hi = self.row_offsets[rank], self.row_offsets[rank + 1]
+                part = array[lo:hi]
+            self._parts[rank][:] = part
+            t = costmodel.pcie_host_to_gpu_time(
+                part.shape[0] * self.row_bytes, shared=True
+            )
+            self.node.gpu_clock[rank].advance(t, phase=phase)
+        self.node.sync()
+        return t
+
+    # -- the shared-memory global gather (one kernel) -------------------------
+
+    def gather(
+        self, rows, rank: int, phase: str = "gather", out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Gather ``rows`` into ``rank``'s memory in one kernel.
+
+        The underlying NVLink/NVSwitch handles all communication without
+        software involvement (paper Fig. 4, right).  Returns the gathered
+        ``(len(rows), num_cols)`` array.
+        """
+        self._require_data()
+        rows = self._check_rows(rows)
+        owners, local_rows = self._owners_and_local(rows)
+        if out is None:
+            out = np.empty((rows.size, self.num_cols), dtype=self.dtype)
+        for r in range(self.node.num_gpus):
+            mask = owners == r
+            if np.any(mask):
+                out[mask] = self._parts[r][local_rows[mask]]
+
+        total_bytes = rows.size * self.row_bytes
+        remote = float(np.count_nonzero(owners != rank)) / max(rows.size, 1)
+        t = costmodel.gather_time(
+            total_bytes,
+            self.row_bytes,
+            self.node.num_gpus,
+            remote_fraction=remote,
+        )
+        self.node.gpu_clock[rank].advance(t, phase=phase)
+        self.stats["gather_calls"] += 1
+        self.stats["gather_rows"] += int(rows.size)
+        self.stats["gather_bytes"] += int(total_bytes)
+        self.stats["gather_remote_bytes"] += int(round(total_bytes * remote))
+        self.stats["gather_time"] += t
+        return out
+
+    def gather_no_cost(self, rows) -> np.ndarray:
+        """Functional gather without clock charging (evaluation paths)."""
+        self._require_data()
+        rows = self._check_rows(rows)
+        owners, local_rows = self._owners_and_local(rows)
+        out = np.empty((rows.size, self.num_cols), dtype=self.dtype)
+        for r in range(self.node.num_gpus):
+            mask = owners == r
+            if np.any(mask):
+                out[mask] = self._parts[r][local_rows[mask]]
+        return out
+
+    def scatter(
+        self, rows, values: np.ndarray, rank: int, phase: str = "scatter"
+    ) -> None:
+        """Write ``values`` to ``rows`` from ``rank`` (single store kernel)."""
+        self._require_data()
+        rows = self._check_rows(rows)
+        values = np.asarray(values, dtype=self.dtype).reshape(
+            rows.size, self.num_cols
+        )
+        owners, local_rows = self._owners_and_local(rows)
+        for r in range(self.node.num_gpus):
+            mask = owners == r
+            if np.any(mask):
+                self._parts[r][local_rows[mask]] = values[mask]
+        remote = float(np.count_nonzero(owners != rank)) / max(rows.size, 1)
+        t = costmodel.gather_time(
+            rows.size * self.row_bytes,
+            self.row_bytes,
+            self.node.num_gpus,
+            remote_fraction=remote,
+        )
+        self.node.gpu_clock[rank].advance(t, phase=phase)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def free(self) -> None:
+        """Release device memory."""
+        if self.materialized:
+            self.memory.free()
+            self._parts = None
+        else:
+            for rank, alloc in enumerate(self._allocations):
+                self.node.gpu_memory[rank].free(alloc)
+            self._allocations = []

@@ -1,0 +1,38 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Each module exposes ``run(...) -> result`` and ``report(result) -> str``;
+the ``benchmarks/`` harness calls these and prints the same rows the paper
+reports.  See DESIGN.md §3 for the experiment index.
+"""
+
+from repro.experiments import (
+    ablations,
+    table1_latency,
+    table2_datasets,
+    table3_accuracy,
+    table4_memory,
+    table5_epoch_time,
+    fig7_accuracy_curve,
+    fig8_bandwidth,
+    fig9_breakdown,
+    fig10_gather,
+    fig11_layers,
+    fig12_utilization,
+    fig13_scaling,
+)
+
+__all__ = [
+    "ablations",
+    "table1_latency",
+    "table2_datasets",
+    "table3_accuracy",
+    "table4_memory",
+    "table5_epoch_time",
+    "fig7_accuracy_curve",
+    "fig8_bandwidth",
+    "fig9_breakdown",
+    "fig10_gather",
+    "fig11_layers",
+    "fig12_utilization",
+    "fig13_scaling",
+]

@@ -1,0 +1,156 @@
+"""Shared experiment plumbing: store construction and epoch extrapolation.
+
+Per-iteration cost of sampled mini-batch training depends on batch size,
+fanout, feature and hidden dimensions — not on total graph size — so the
+experiments measure a handful of iterations on a scaled synthetic graph and
+extrapolate full-scale epoch time as
+
+    epoch_time = measured_iter_time x full_iterations_per_epoch
+
+with the full iteration count taken from the dataset's real training-split
+size (DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+from repro.baselines import CpuBaselineTrainer, HostGraphStore, profile_by_name
+from repro.graph import MultiGpuGraphStore, load_dataset
+from repro.graph.datasets import SyntheticDataset, dataset_spec
+from repro.hardware import SimNode
+from repro.train import WholeGraphTrainer
+from repro.train.metrics import PhaseTimes
+
+#: graph size for performance experiments — large enough that multi-layer
+#: frontiers don't trivially saturate, small enough that the functional math
+#: (including GAT's per-edge tensors) fits the host's RAM
+PERF_NUM_NODES = 30_000
+
+#: datasets in the paper's Table V order
+ALL_DATASETS = ("ogbn-products", "ogbn-papers100M", "friendster", "uk_domain")
+ALL_MODELS = ("gcn", "graphsage", "gat")
+FRAMEWORKS = ("PyG", "DGL", "WholeGraph")
+
+_dataset_cache: dict[tuple, SyntheticDataset] = {}
+
+
+def get_dataset(name: str, num_nodes: int, seed: int = 0,
+                **kwargs) -> SyntheticDataset:
+    """Memoised dataset generation (experiments share instances)."""
+    key = (name, num_nodes, seed, tuple(sorted(kwargs.items())))
+    if key not in _dataset_cache:
+        _dataset_cache[key] = load_dataset(
+            name, num_nodes=num_nodes, seed=seed, **kwargs
+        )
+    return _dataset_cache[key]
+
+
+@dataclass
+class MeasuredPipeline:
+    """Per-iteration measurement of one framework on one workload."""
+
+    framework: str
+    dataset: str
+    model: str
+    iter_time: float
+    iter_times: PhaseTimes
+    mean_loss: float
+    #: extrapolated full-scale epoch time (paper's Table V quantity)
+    epoch_time_full: float
+
+    @property
+    def phase_fractions(self) -> dict[str, float]:
+        t = max(self.iter_times.total, 1e-12)
+        return {k: v / t for k, v in self.iter_times.as_dict().items()}
+
+
+def measure_wholegraph(
+    dataset_name: str,
+    model: str,
+    num_nodes: int = PERF_NUM_NODES,
+    iterations: int = 4,
+    seed: int = 0,
+    batch_size: int = config.BATCH_SIZE,
+    fanouts=None,
+    hidden: int = config.HIDDEN_SIZE,
+    layer_cost_factor: float = 1.0,
+    node: SimNode | None = None,
+) -> tuple[MeasuredPipeline, SimNode]:
+    """Run a few WholeGraph iterations; extrapolate to the full epoch."""
+    spec = dataset_spec(dataset_name)
+    ds = get_dataset(dataset_name, num_nodes, seed)
+    node = node if node is not None else SimNode()
+    store = MultiGpuGraphStore(node, ds, seed=seed)
+    trainer = WholeGraphTrainer(
+        store, model, seed=seed, batch_size=batch_size, fanouts=fanouts,
+        hidden=hidden, layer_cost_factor=layer_cost_factor,
+    )
+    node.reset_clocks()  # exclude setup/load from the steady-state epoch
+    stats = trainer.train_epoch(max_iterations=iterations)
+    iter_time = stats.epoch_time / stats.iterations
+    per_iter = PhaseTimes(
+        sample=stats.times.sample / stats.iterations,
+        gather=stats.times.gather / stats.iterations,
+        train=stats.times.train / stats.iterations,
+    )
+    measured = MeasuredPipeline(
+        framework="WholeGraph",
+        dataset=dataset_name,
+        model=model,
+        iter_time=iter_time,
+        iter_times=per_iter,
+        mean_loss=stats.mean_loss,
+        epoch_time_full=iter_time * spec.full_iterations_per_epoch,
+    )
+    return measured, node
+
+
+def measure_baseline(
+    framework: str,
+    dataset_name: str,
+    model: str,
+    num_nodes: int = PERF_NUM_NODES,
+    iterations: int = 4,
+    seed: int = 0,
+    batch_size: int = config.BATCH_SIZE,
+    fanouts=None,
+    hidden: int = config.HIDDEN_SIZE,
+    node: SimNode | None = None,
+) -> tuple[MeasuredPipeline, SimNode]:
+    """Run a few DGL-like / PyG-like iterations; extrapolate."""
+    spec = dataset_spec(dataset_name)
+    ds = get_dataset(dataset_name, num_nodes, seed)
+    node = node if node is not None else SimNode()
+    store = HostGraphStore(node, ds)
+    trainer = CpuBaselineTrainer(
+        store, profile_by_name(framework), model, seed=seed,
+        batch_size=batch_size, fanouts=fanouts, hidden=hidden,
+    )
+    node.reset_clocks()
+    stats = trainer.train_epoch(max_iterations=iterations)
+    iter_time = stats.epoch_time / stats.iterations
+    per_iter = PhaseTimes(
+        sample=stats.times.sample / stats.iterations,
+        gather=stats.times.gather / stats.iterations,
+        train=stats.times.train / stats.iterations,
+    )
+    measured = MeasuredPipeline(
+        framework=framework,
+        dataset=dataset_name,
+        model=model,
+        iter_time=iter_time,
+        iter_times=per_iter,
+        mean_loss=stats.mean_loss,
+        epoch_time_full=iter_time * spec.full_iterations_per_epoch,
+    )
+    return measured, node
+
+
+def measure_framework(framework: str, dataset_name: str, model: str,
+                      **kwargs) -> tuple[MeasuredPipeline, SimNode]:
+    """Dispatch on framework name."""
+    if framework.lower() == "wholegraph":
+        return measure_wholegraph(dataset_name, model, **kwargs)
+    return measure_baseline(framework, dataset_name, model, **kwargs)

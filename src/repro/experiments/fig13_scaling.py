@@ -1,0 +1,102 @@
+"""Fig. 13 — multi-node scaling on the three large datasets.
+
+Each machine node replicates the graph store, so only gradients cross the
+node boundary and WholeGraph scales near-linearly to 8 nodes (paper §IV-D).
+We measure the single-node iteration time, then predict the 1/2/4/8-node
+epoch times with the hierarchical-all-reduce model of
+:mod:`repro.cluster.multinode`.
+
+The paper's anchor data point — 80 epochs of 3-layer GraphSage (hidden 256,
+fanout 30³) on ogbn-papers100M in 66 s on 8 nodes — is reported alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import scaling_curve
+from repro.experiments.common import measure_wholegraph
+from repro.graph.datasets import dataset_spec
+from repro.nn.models import build_model
+from repro.telemetry.report import format_table
+from repro.utils.rng import spawn_rng
+
+DATASETS = ("ogbn-papers100M", "friendster", "uk_domain")
+MODELS = ("gcn", "graphsage", "gat")
+NODE_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass
+class ScalingRow:
+    dataset: str
+    model: str
+    node_counts: tuple
+    speedups: tuple
+    epoch_times: tuple
+
+
+def run(
+    datasets=DATASETS,
+    models=MODELS,
+    node_counts=NODE_COUNTS,
+    num_nodes: int = 30_000,
+    iterations: int = 3,
+    seed: int = 0,
+) -> list[ScalingRow]:
+    rows = []
+    for dataset in datasets:
+        spec = dataset_spec(dataset)
+        for model in models:
+            m, node = measure_wholegraph(
+                dataset, model, num_nodes=num_nodes,
+                iterations=iterations, seed=seed,
+            )
+            grad_nbytes = build_model(
+                model, spec.feature_dim, 64, spawn_rng(seed, "g")
+            ).grad_nbytes()
+            points = scaling_curve(
+                m.iter_time,
+                spec.full_iterations_per_epoch,
+                grad_nbytes,
+                node_counts=node_counts,
+            )
+            rows.append(
+                ScalingRow(
+                    dataset=dataset,
+                    model=model,
+                    node_counts=tuple(p.num_nodes for p in points),
+                    speedups=tuple(p.speedup for p in points),
+                    epoch_times=tuple(p.epoch_time for p in points),
+                )
+            )
+    return rows
+
+
+def report(rows: list[ScalingRow]) -> str:
+    out = []
+    for r in rows:
+        out.append(
+            [r.dataset, r.model]
+            + [f"{s:.2f}x" for s in r.speedups]
+            + [f"{t:.2f}s" for t in r.epoch_times]
+        )
+    headers = (
+        ["Dataset", "Model"]
+        + [f"speedup@{k}" for k in rows[0].node_counts]
+        + [f"epoch@{k}" for k in rows[0].node_counts]
+    )
+    return format_table(
+        headers, out, title="Fig. 13: multi-node scaling of WholeGraph"
+    )
+
+
+def check_shape(rows: list[ScalingRow]) -> None:
+    for r in rows:
+        # monotone increasing speedup...
+        assert all(
+            b > a for a, b in zip(r.speedups, r.speedups[1:])
+        ), r
+        # ...and near-linear: >= 85% parallel efficiency at 8 nodes
+        final_k = r.node_counts[-1]
+        assert r.speedups[-1] > 0.85 * final_k, (r.dataset, r.model,
+                                                 r.speedups[-1])

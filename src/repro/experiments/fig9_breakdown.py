@@ -1,0 +1,93 @@
+"""Fig. 9 — epoch-time breakdown: sampling / gathering / training.
+
+The paper's diagnosis: for PyG and DGL the sampling + gathering phases
+dominate the epoch (training is "hardly visible"), while for WholeGraph the
+training phase dominates because the data path has been moved onto the
+GPUs.  We reproduce the stacked-bar data as phase fractions per framework,
+model and dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import measure_framework
+from repro.telemetry.report import format_table
+
+DATASETS = ("ogbn-products", "ogbn-papers100M")
+MODELS = ("gcn", "graphsage", "gat")
+FRAMEWORKS = ("PyG", "DGL", "WholeGraph")
+
+
+@dataclass
+class BreakdownRow:
+    framework: str
+    dataset: str
+    model: str
+    sample_s: float
+    gather_s: float
+    train_s: float
+
+    @property
+    def total(self) -> float:
+        return self.sample_s + self.gather_s + self.train_s
+
+    @property
+    def data_path_fraction(self) -> float:
+        """Share of the iteration spent in sampling + gathering."""
+        return (self.sample_s + self.gather_s) / max(self.total, 1e-12)
+
+
+def run(
+    datasets=DATASETS,
+    models=MODELS,
+    frameworks=FRAMEWORKS,
+    num_nodes: int = 30_000,
+    iterations: int = 3,
+    seed: int = 0,
+) -> list[BreakdownRow]:
+    rows = []
+    for dataset in datasets:
+        for model in models:
+            for framework in frameworks:
+                m, _ = measure_framework(
+                    framework, dataset, model,
+                    num_nodes=num_nodes, iterations=iterations, seed=seed,
+                )
+                rows.append(
+                    BreakdownRow(
+                        framework=framework,
+                        dataset=dataset,
+                        model=model,
+                        sample_s=m.iter_times.sample,
+                        gather_s=m.iter_times.gather,
+                        train_s=m.iter_times.train,
+                    )
+                )
+    return rows
+
+
+def report(rows: list[BreakdownRow]) -> str:
+    return format_table(
+        ["Framework", "Dataset", "Model", "sample (ms)", "gather (ms)",
+         "train (ms)", "data-path %"],
+        [
+            [r.framework, r.dataset, r.model, r.sample_s * 1e3,
+             r.gather_s * 1e3, r.train_s * 1e3,
+             f"{100*r.data_path_fraction:.1f}%"]
+            for r in rows
+        ],
+        title="Fig. 9: per-iteration epoch-time breakdown",
+    )
+
+
+def check_shape(rows: list[BreakdownRow]) -> None:
+    for r in rows:
+        if r.framework == "WholeGraph":
+            # training dominates for WholeGraph
+            assert r.data_path_fraction < 0.5, (r.framework, r.model,
+                                                r.data_path_fraction)
+        else:
+            # sampling + gathering dominate the baselines
+            assert r.data_path_fraction > 0.5, (r.framework, r.model,
+                                                r.data_path_fraction)

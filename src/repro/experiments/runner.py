@@ -1,0 +1,96 @@
+"""CLI experiment runner: regenerate any paper table/figure from the shell.
+
+Usage::
+
+    python -m repro.experiments.runner table1 fig8      # specific experiments
+    python -m repro.experiments.runner --list           # what exists
+    python -m repro.experiments.runner --all             # everything (slow)
+
+Each experiment prints the paper's rows and runs its shape check;
+the process exits non-zero if any shape check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablations,
+    fig7_accuracy_curve,
+    fig8_bandwidth,
+    fig9_breakdown,
+    fig10_gather,
+    fig11_layers,
+    fig12_utilization,
+    fig13_scaling,
+    table1_latency,
+    table2_datasets,
+    table3_accuracy,
+    table4_memory,
+    table5_epoch_time,
+)
+
+#: experiment name -> (module, kwargs for a reasonable standalone run)
+EXPERIMENTS = {
+    "table1": (table1_latency, {}),
+    "table2": (table2_datasets, {}),
+    "table3": (table3_accuracy, {"num_nodes": 5000}),
+    "table4": (table4_memory, {}),
+    "table5": (table5_epoch_time, {"num_nodes": 30_000, "iterations": 2}),
+    "fig7": (fig7_accuracy_curve, {}),
+    "fig8": (fig8_bandwidth, {}),
+    "fig9": (fig9_breakdown, {"num_nodes": 30_000, "iterations": 2}),
+    "fig10": (fig10_gather, {}),
+    "fig11": (fig11_layers, {"num_nodes": 30_000, "iterations": 2}),
+    "fig12": (fig12_utilization, {}),
+    "fig13": (fig13_scaling, {"num_nodes": 20_000, "iterations": 2}),
+    "ablations": (ablations, {}),
+}
+
+
+def run_experiment(name: str) -> bool:
+    """Run one experiment end-to-end; returns True on shape-check success."""
+    module, kwargs = EXPERIMENTS[name]
+    print(f"== {name}: {module.__doc__.strip().splitlines()[0]}")
+    result = module.run(**kwargs)
+    print(module.report(result))
+    try:
+        module.check_shape(result)
+    except AssertionError as exc:
+        print(f"!! shape check FAILED: {exc}")
+        return False
+    print("shape check passed\n")
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate WholeGraph paper tables/figures."
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (module, _) in EXPERIMENTS.items():
+            print(f"{name:10s} {module.__doc__.strip().splitlines()[0]}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.all else args.experiments
+    if not names:
+        parser.error("give experiment names, --all, or --list")
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; see --list")
+
+    ok = all([run_experiment(name) for name in names])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Table I — UM vs GPUDirect P2P pointer-chase latency.
+
+The paper's experiment: allocate 8–128 GB spread across the 8 GPUs, chase a
+dependency chain of 100 K random addresses from one GPU, report the mean
+per-access latency.  UM pays a page-fault + migration per (almost every)
+access; P2P is a hardware load over NVLink.
+
+We run the chase *functionally* on the :class:`UnifiedMemorySpace` page
+table (page ownership really migrates) and on the DSM via the cost model;
+the reported latencies are the simulated per-access times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GB
+from repro.dsm.unified_memory import UnifiedMemorySpace
+from repro.hardware import SimNode, costmodel
+from repro.telemetry.report import format_table
+from repro.utils.rng import spawn_rng
+
+#: the paper's footprint column, in GB
+SIZES_GB = (8, 16, 32, 64, 128)
+
+#: paper-reported values for the shape check (us)
+PAPER_UM_US = {8: 20.8, 16: 29.6, 32: 32.5, 64: 35.3, 128: 35.8}
+PAPER_P2P_US = {8: 1.35, 16: 1.37, 32: 1.43, 64: 1.51, 128: 1.56}
+
+
+@dataclass
+class LatencyRow:
+    size_gb: int
+    um_us: float
+    p2p_us: float
+
+
+def run(num_accesses: int = 20_000, seed: int = 0,
+        sizes_gb=SIZES_GB) -> list[LatencyRow]:
+    """Chase ``num_accesses`` dependent random addresses per footprint."""
+    rows = []
+    rng = spawn_rng(seed, "table1")
+    for size_gb in sizes_gb:
+        footprint = size_gb * GB
+        node = SimNode()
+        # UM: functional page-migration model.  Random addresses over the
+        # whole footprint mean nearly every access faults.
+        um = UnifiedMemorySpace(node, footprint)
+        addresses = rng.integers(0, footprint, size=num_accesses)
+        t_um = um.access(addresses, rank=0)
+        um_lat = t_um / num_accesses
+
+        # P2P: dependent loads through the pointer table; 7/8 of random
+        # addresses land on a peer GPU.
+        remote = 7 / 8
+        t_p2p = remote * costmodel.pointer_chase_time(
+            num_accesses, footprint, "p2p"
+        ) + (1 - remote) * costmodel.pointer_chase_time(
+            num_accesses, footprint, "local"
+        )
+        p2p_lat = t_p2p / num_accesses
+        rows.append(
+            LatencyRow(size_gb=size_gb, um_us=um_lat * 1e6,
+                       p2p_us=p2p_lat * 1e6)
+        )
+    return rows
+
+
+def report(rows: list[LatencyRow]) -> str:
+    return format_table(
+        ["Memory Size (GB)", "UM (us)", "Peer Access (us)",
+         "paper UM", "paper P2P"],
+        [
+            [r.size_gb, r.um_us, r.p2p_us,
+             PAPER_UM_US.get(r.size_gb, float("nan")),
+             PAPER_P2P_US.get(r.size_gb, float("nan"))]
+            for r in rows
+        ],
+        title="Table I: UM vs GPUDirect P2P access latency",
+    )
+
+
+def check_shape(rows: list[LatencyRow]) -> None:
+    """The paper's qualitative claims, as assertions."""
+    for r in rows:
+        # UM is an order of magnitude slower than P2P
+        assert r.um_us / r.p2p_us > 10, (r.size_gb, r.um_us, r.p2p_us)
+        # P2P stays at the ~1 us order of magnitude
+        assert 1.0 <= r.p2p_us < 2.0, r.p2p_us
+    # both grow (mildly) with footprint
+    assert rows[-1].um_us > rows[0].um_us
+    assert rows[-1].p2p_us > rows[0].p2p_us

@@ -1,0 +1,126 @@
+"""Table V — average epoch time and speedups, 4 datasets x 3 models.
+
+The paper's headline table: WholeGraph's epoch times vs DGL's and PyG's on
+a single 8-GPU DGX-A100, with speedups from 7.84x (DGL, UK_domain GAT) to
+242.98x (PyG, products GCN).  The *shape* constraints we reproduce:
+
+- WholeGraph wins everywhere, by 1–2 orders of magnitude;
+- PyG is slower than DGL everywhere (roughly another order);
+- GAT speedups are the smallest of each dataset row (compute-heavy models
+  dilute the data-path advantage, §IV-C2).
+
+Epoch times are measured per-iteration on the scaled graphs and
+extrapolated with the full-scale iteration counts (DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ALL_DATASETS,
+    ALL_MODELS,
+    MeasuredPipeline,
+    measure_framework,
+)
+from repro.telemetry.report import format_table
+
+#: paper Table V epoch times (seconds) for reference columns
+PAPER_EPOCH_S = {
+    ("ogbn-products", "gcn"): (225.97, 26.05, 0.93),
+    ("ogbn-products", "graphsage"): (228.96, 30.8, 0.99),
+    ("ogbn-products", "gat"): (246.81, 29.21, 3.28),
+    ("ogbn-papers100M", "gcn"): (358.58, 220.28, 5.7),
+    ("ogbn-papers100M", "graphsage"): (314.88, 273.67, 6.0),
+    ("ogbn-papers100M", "gat"): (404.66, 269.7, 24.25),
+    ("friendster", "gcn"): (286.78, 159.48, 2.79),
+    ("friendster", "graphsage"): (262.45, 167.96, 2.93),
+    ("friendster", "gat"): (287.76, 154.56, 12.83),
+    ("uk_domain", "gcn"): (122.61, 77.1, 2.77),
+    ("uk_domain", "graphsage"): (127.48, 77.38, 3.01),
+    ("uk_domain", "gat"): (122.61, 77.38, 10.85),
+}
+
+
+@dataclass
+class EpochTimeRow:
+    dataset: str
+    model: str
+    pyg_s: float
+    dgl_s: float
+    wholegraph_s: float
+
+    @property
+    def speedup_vs_pyg(self) -> float:
+        return self.pyg_s / self.wholegraph_s
+
+    @property
+    def speedup_vs_dgl(self) -> float:
+        return self.dgl_s / self.wholegraph_s
+
+
+def run(
+    datasets=ALL_DATASETS,
+    models=ALL_MODELS,
+    num_nodes: int = 40_000,
+    iterations: int = 3,
+    seed: int = 0,
+) -> list[EpochTimeRow]:
+    """Measure every (dataset, model, framework) cell."""
+    rows = []
+    for dataset in datasets:
+        for model in models:
+            cells: dict[str, MeasuredPipeline] = {}
+            for framework in ("PyG", "DGL", "WholeGraph"):
+                measured, _ = measure_framework(
+                    framework, dataset, model,
+                    num_nodes=num_nodes, iterations=iterations, seed=seed,
+                )
+                cells[framework] = measured
+            rows.append(
+                EpochTimeRow(
+                    dataset=dataset,
+                    model=model,
+                    pyg_s=cells["PyG"].epoch_time_full,
+                    dgl_s=cells["DGL"].epoch_time_full,
+                    wholegraph_s=cells["WholeGraph"].epoch_time_full,
+                )
+            )
+    return rows
+
+
+def report(rows: list[EpochTimeRow]) -> str:
+    out = []
+    for r in rows:
+        paper = PAPER_EPOCH_S.get((r.dataset, r.model))
+        out.append([
+            r.dataset, r.model, r.pyg_s, r.dgl_s, r.wholegraph_s,
+            r.speedup_vs_pyg, r.speedup_vs_dgl,
+            "-" if paper is None else f"{paper[0]/paper[2]:.1f}",
+            "-" if paper is None else f"{paper[1]/paper[2]:.1f}",
+        ])
+    return format_table(
+        ["Dataset", "Model", "PyG (s)", "DGL (s)", "Ours (s)",
+         "vs PyG", "vs DGL", "paper vs PyG", "paper vs DGL"],
+        out,
+        title="Table V: average epoch time and speedups (8 GPUs)",
+    )
+
+
+def check_shape(rows: list[EpochTimeRow]) -> None:
+    by_dataset: dict[str, list[EpochTimeRow]] = {}
+    for r in rows:
+        # WholeGraph wins by at least ~4x over DGL and ~10x over PyG
+        assert r.speedup_vs_dgl > 4, (r.dataset, r.model, r.speedup_vs_dgl)
+        assert r.speedup_vs_pyg > 10, (r.dataset, r.model, r.speedup_vs_pyg)
+        # PyG slower than DGL
+        assert r.pyg_s > r.dgl_s, (r.dataset, r.model)
+        by_dataset.setdefault(r.dataset, []).append(r)
+    # GAT has the smallest speedups within each dataset
+    for dataset, group in by_dataset.items():
+        if len(group) == 3:
+            gat = next(r for r in group if r.model == "gat")
+            others = [r for r in group if r.model != "gat"]
+            assert all(
+                gat.speedup_vs_dgl <= o.speedup_vs_dgl for o in others
+            ), dataset

@@ -1,0 +1,99 @@
+"""Simulated per-device clocks and phase timelines.
+
+Every device (GPU or host CPU) owns a :class:`SimClock`.  Ops advance the
+clock of the device they run on by the simulated duration the cost model
+assigns them; each advance is recorded as a :class:`Span` on the shared
+:class:`Timeline`.  GPU-utilization traces (paper Fig. 12) and epoch-time
+breakdowns (Fig. 9/11) are computed from these spans.
+
+A span's ``busy`` flag distinguishes time the device spends *computing* from
+time it spends *waiting* (e.g. a GPU idling while the host CPU samples, the
+DGL/PyG failure mode the paper highlights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous interval of (simulated) device activity."""
+
+    device: str
+    start: float
+    end: float
+    phase: str
+    busy: bool = True
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Append-only log of spans across all devices."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def record(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def device_spans(self, device: str) -> list[Span]:
+        """All spans of a device, in recording (== time) order."""
+        return [s for s in self.spans if s.device == device]
+
+    def phase_total(self, phase: str, device: str | None = None) -> float:
+        """Total simulated time spent in ``phase`` (optionally per device)."""
+        return sum(
+            s.duration
+            for s in self.spans
+            if s.phase == phase and (device is None or s.device == device)
+        )
+
+    def phase_breakdown(self, device: str | None = None) -> dict[str, float]:
+        """Map phase name -> total simulated seconds."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            if device is None or s.device == device:
+                out[s.phase] = out.get(s.phase, 0.0) + s.duration
+        return out
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+
+class SimClock:
+    """Monotonic simulated clock of one device."""
+
+    def __init__(self, device: str, timeline: Timeline | None = None):
+        self.device = device
+        self.now = 0.0
+        self.timeline = timeline
+
+    def advance(self, dt: float, phase: str = "other", busy: bool = True) -> float:
+        """Advance by ``dt`` seconds, logging a span; returns new ``now``."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        start = self.now
+        self.now = start + dt
+        if self.timeline is not None and dt > 0:
+            self.timeline.record(
+                Span(self.device, start, self.now, phase, busy)
+            )
+        return self.now
+
+    def wait_until(self, t: float, phase: str = "wait") -> float:
+        """Idle (non-busy) until simulated time ``t`` if it is in the future."""
+        if t > self.now:
+            start = self.now
+            self.now = t
+            if self.timeline is not None:
+                self.timeline.record(
+                    Span(self.device, start, t, phase, busy=False)
+                )
+        return self.now
+
+    def reset(self) -> None:
+        self.now = 0.0

@@ -1,0 +1,259 @@
+"""Cost model: converts op work descriptors into simulated seconds.
+
+This module is the heart of the performance-simulation layer.  Every formula
+is anchored to a number the paper publishes:
+
+- **Pointer-chase latency** (Table I): a chain of dependent random accesses
+  cannot be pipelined, so total time = accesses x per-access latency.  P2P
+  latency starts at 1.35 us for an 8 GB footprint and creeps up ~0.05 us per
+  footprint doubling; UM latency starts at 20.8 us (page-fault service) and
+  grows ~3.75 us per doubling.
+
+- **Random-gather bandwidth** (Fig. 8): independent random reads *are*
+  pipelined, so throughput is bandwidth-bound.  BusBW grows linearly with the
+  contiguous segment size until ~64 B, saturating near 230 GB/s for >=128 B
+  segments.  AlgoBW = BusBW x N/(N-1) because 1/N of a uniform gather is
+  local and never crosses NVLink.
+
+- **Kernels**: fixed launch overhead plus work/throughput, with per-kernel
+  throughput constants in :mod:`repro.config`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import config
+
+
+# ---------------------------------------------------------------------------
+# Latency (dependent-access) models — paper Table I
+# ---------------------------------------------------------------------------
+
+def _doublings(footprint_bytes: float) -> float:
+    """log2 of footprint relative to the 8 GB anchor, floored at 0."""
+    ratio = max(float(footprint_bytes), 1.0) / config.LATENCY_ANCHOR_BYTES
+    return max(0.0, math.log2(ratio))
+
+
+def p2p_access_latency(footprint_bytes: float) -> float:
+    """GPUDirect P2P load latency for one dependent remote access."""
+    return config.P2P_BASE_LATENCY + config.P2P_LATENCY_PER_DOUBLING * _doublings(
+        footprint_bytes
+    )
+
+
+def um_access_latency(footprint_bytes: float) -> float:
+    """Unified-memory access latency (page fault + migration) per access.
+
+    The UM pointer chase touches a fresh page almost every step (random
+    addresses over a huge footprint), so nearly every access pays the fault.
+    """
+    return config.UM_BASE_LATENCY + config.UM_LATENCY_PER_DOUBLING * _doublings(
+        footprint_bytes
+    )
+
+
+def local_access_latency() -> float:
+    """Local HBM random-access latency for one dependent access."""
+    return config.LOCAL_HBM_LATENCY
+
+
+def pointer_chase_time(
+    num_accesses: int, footprint_bytes: float, mechanism: str
+) -> float:
+    """Total time of a dependent random-access chain (Table I experiment).
+
+    ``mechanism`` is ``'p2p'``, ``'um'`` or ``'local'``.
+    """
+    if mechanism == "p2p":
+        lat = p2p_access_latency(footprint_bytes)
+    elif mechanism == "um":
+        lat = um_access_latency(footprint_bytes)
+    elif mechanism == "local":
+        lat = local_access_latency()
+    else:
+        raise ValueError(f"unknown access mechanism: {mechanism!r}")
+    return num_accesses * lat
+
+
+# ---------------------------------------------------------------------------
+# Bandwidth (independent-access) models — paper Fig. 8
+# ---------------------------------------------------------------------------
+
+def random_read_bus_bw(segment_bytes: float) -> float:
+    """NVLink BusBW of a random gather with the given segment size.
+
+    Linear in the segment size below ~81 B (181 GB/s at 64 B), saturating at
+    230 GB/s — the Fig. 8 curve.
+    """
+    return min(segment_bytes * config.RANDOM_READ_BW_SLOPE, config.RANDOM_READ_BW_SAT)
+
+
+def random_read_algo_bw(segment_bytes: float, num_gpus: int) -> float:
+    """AlgoBW seen by a uniform random gather across ``num_gpus`` GPUs.
+
+    Only (N-1)/N of the traffic crosses NVLink, so the algorithm-visible
+    bandwidth exceeds BusBW by N/(N-1)  (paper §IV-C1).
+    """
+    if num_gpus <= 1:
+        return local_random_read_bw(segment_bytes)
+    return random_read_bus_bw(segment_bytes) * num_gpus / (num_gpus - 1)
+
+
+def local_random_read_bw(segment_bytes: float) -> float:
+    """Random-read bandwidth out of local HBM (same saturation shape)."""
+    slope = config.HBM_RANDOM_READ_BW_SAT / 96.0  # saturate near 96 B segments
+    return min(segment_bytes * slope, config.HBM_RANDOM_READ_BW_SAT)
+
+
+def gather_time(
+    total_bytes: float,
+    segment_bytes: float,
+    num_gpus: int,
+    remote_fraction: float | None = None,
+) -> float:
+    """Time for one GPU to gather ``total_bytes`` of random segments.
+
+    ``remote_fraction`` defaults to the uniform (N-1)/N split.  The gather is
+    bandwidth-bound: remote traffic runs at the Fig. 8 NVLink curve, local
+    traffic at HBM speed, and both proceed concurrently (the kernel issues
+    loads to all destinations at once), so the slower stream dominates.
+    """
+    if total_bytes <= 0:
+        return config.KERNEL_LAUNCH_OVERHEAD
+    if num_gpus <= 1:
+        return (
+            config.KERNEL_LAUNCH_OVERHEAD
+            + total_bytes / local_random_read_bw(segment_bytes)
+        )
+    if remote_fraction is None:
+        remote_fraction = (num_gpus - 1) / num_gpus
+    remote_bytes = total_bytes * remote_fraction
+    local_bytes = total_bytes - remote_bytes
+    t_remote = remote_bytes / random_read_bus_bw(segment_bytes)
+    t_local = local_bytes / local_random_read_bw(segment_bytes)
+    return config.KERNEL_LAUNCH_OVERHEAD + max(t_remote, t_local)
+
+
+def host_pinned_gather_time(total_bytes: float, segment_bytes: float) -> float:
+    """GPU gather of random segments out of *host-pinned* memory.
+
+    This is the zero-copy alternative to device-resident WholeMemory: loads
+    cross the shared PCIe uplink (16 GB/s per GPU when all stream, paper
+    §III-B), with the same small-segment efficiency loss as NVLink but a
+    far lower ceiling — the 18.75x bandwidth argument.
+    """
+    if total_bytes <= 0:
+        return config.KERNEL_LAUNCH_OVERHEAD
+    # PCIe random reads reach line rate around the same 128 B segment knee
+    slope = config.PCIE_BW_PER_GPU_SHARED / 128.0
+    bw = min(segment_bytes * slope, config.PCIE_BW_PER_GPU_SHARED)
+    return config.KERNEL_LAUNCH_OVERHEAD + total_bytes / bw
+
+
+# ---------------------------------------------------------------------------
+# Bulk-transfer models
+# ---------------------------------------------------------------------------
+
+def stream_transfer_time(nbytes: float, bandwidth: float, latency: float) -> float:
+    """Time for one contiguous (DMA-style) transfer over a link."""
+    if nbytes <= 0:
+        return 0.0
+    return latency + nbytes / bandwidth
+
+
+def pcie_host_to_gpu_time(nbytes: float, shared: bool = True) -> float:
+    """Host->GPU copy over PCIe 4.0 x16; ``shared`` halves bandwidth
+    (2 GPUs per uplink, paper §III-B)."""
+    bw = config.PCIE_BW_PER_GPU_SHARED if shared else config.PCIE_GEN4_X16_BW
+    return stream_transfer_time(nbytes, bw, config.PCIE_LATENCY)
+
+
+def nvlink_p2p_stream_time(nbytes: float) -> float:
+    """GPU->GPU contiguous copy over NVLink."""
+    return stream_transfer_time(
+        nbytes, config.NVLINK_UNIDIR_BW, config.P2P_BASE_LATENCY
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernel models
+# ---------------------------------------------------------------------------
+
+def kernel_time(work: float, rate: float) -> float:
+    """Generic kernel: launch overhead + work units / rate."""
+    if work < 0:
+        raise ValueError("work must be non-negative")
+    return config.KERNEL_LAUNCH_OVERHEAD + work / rate
+
+
+def dense_compute_time(flops: float) -> float:
+    """Dense GEMM/attention compute time."""
+    return kernel_time(flops, config.GPU_DENSE_FLOPS)
+
+
+def sparse_compute_time(bytes_touched: float) -> float:
+    """Bandwidth-bound sparse kernel (g-SpMM / g-SDDMM) time."""
+    return kernel_time(bytes_touched, config.GPU_SPARSE_BYTES_PER_S)
+
+
+def elementwise_time(bytes_touched: float) -> float:
+    """Elementwise kernel (activations, optimizer steps) time."""
+    return kernel_time(bytes_touched, config.GPU_ELEMENTWISE_BYTES_PER_S)
+
+
+def gpu_sample_time(edges_considered: float) -> float:
+    """Fused multi-GPU sampling kernel time (path-doubling sampler)."""
+    return kernel_time(edges_considered, config.GPU_SAMPLE_EDGES_PER_S)
+
+
+def hash_table_time(num_ops: float) -> float:
+    """AppendUnique hash insert/probe kernel time."""
+    return kernel_time(num_ops, config.GPU_HASH_OPS_PER_S)
+
+
+def sort_unique_time(num_keys: float) -> float:
+    """Sort-based unique (the alternative the paper rejects, §III-C2)."""
+    return kernel_time(num_keys, config.GPU_SORT_UNIQUE_KEYS_PER_S)
+
+
+def backward_scatter_time(plain_rows: float, atomic_rows: float,
+                          row_bytes: float) -> float:
+    """g-SpMM backward scatter: plain stores vs contended atomic adds.
+
+    The duplicate-count optimisation (paper §III-C4) turns
+    sampled-exactly-once rows into plain stores; the remainder pay the
+    atomic read-modify-write premium.
+    """
+    bytes_plain = plain_rows * row_bytes
+    bytes_atomic = atomic_rows * row_bytes * config.ATOMIC_ADD_COST_FACTOR
+    return kernel_time(bytes_plain + bytes_atomic,
+                       config.GPU_SPARSE_BYTES_PER_S)
+
+
+# ---------------------------------------------------------------------------
+# DSM setup — paper §III-B "tens to one or two hundred ms"
+# ---------------------------------------------------------------------------
+
+def dsm_setup_time(total_bytes: float) -> float:
+    """One-time cost of cudaMalloc + IPC exchange + pointer-table setup."""
+    return config.DSM_SETUP_BASE + config.DSM_SETUP_PER_GB * (
+        total_bytes / config.GB
+    )
+
+
+# ---------------------------------------------------------------------------
+# Collectives — used by the NCCL-style baseline gather and DDP
+# ---------------------------------------------------------------------------
+
+def allreduce_time(nbytes: float, num_ranks: int, bandwidth: float,
+                   latency: float) -> float:
+    """Ring all-reduce: 2(N-1)/N of the payload crosses the slowest link."""
+    if num_ranks <= 1 or nbytes <= 0:
+        return 0.0
+    traffic = 2 * (num_ranks - 1) / num_ranks * nbytes
+    return (
+        2 * (num_ranks - 1) * latency
+        + traffic / (bandwidth * config.ALLREDUCE_EFFICIENCY)
+    )

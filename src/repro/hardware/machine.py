@@ -1,0 +1,76 @@
+"""The :class:`SimNode` machine bundle.
+
+A ``SimNode`` is one simulated machine: a :class:`~repro.hardware.spec.NodeSpec`,
+its interconnect :class:`~repro.hardware.topology.Topology`, one
+:class:`~repro.hardware.memory.DeviceMemory` and one
+:class:`~repro.hardware.clock.SimClock` per GPU, a host clock, and a shared
+:class:`~repro.hardware.clock.Timeline`.  Everything above this layer (the
+DSM library, the graph store, the training pipelines) takes a ``SimNode``.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.clock import SimClock, Timeline
+from repro.hardware.memory import DeviceMemory
+from repro.hardware.spec import NodeSpec, dgx_a100
+from repro.hardware.topology import HOST, Topology, build_dgx_topology, gpu_name
+
+
+class SimNode:
+    """One simulated multi-GPU machine node."""
+
+    def __init__(self, spec: NodeSpec | None = None, node_id: int = 0):
+        self.spec = spec if spec is not None else dgx_a100()
+        self.node_id = node_id
+        self.topology: Topology = build_dgx_topology(self.spec)
+        self.timeline = Timeline()
+        prefix = f"n{node_id}." if node_id else ""
+        self.gpu_memory = [
+            DeviceMemory(prefix + gpu_name(i), self.spec.gpu.memory_capacity)
+            for i in range(self.spec.num_gpus)
+        ]
+        self.gpu_clock = [
+            SimClock(prefix + gpu_name(i), self.timeline)
+            for i in range(self.spec.num_gpus)
+        ]
+        self.host_clock = SimClock(prefix + HOST, self.timeline)
+        #: host DRAM ledger (DGX-A100 ships 1-2 TB; we model 1 TB) — used by
+        #: host-pinned WholeMemory placements
+        self.host_memory = DeviceMemory(prefix + HOST, 1 << 40)
+
+    @property
+    def num_gpus(self) -> int:
+        return self.spec.num_gpus
+
+    def gpu_names(self) -> list[str]:
+        return [m.device for m in self.gpu_memory]
+
+    def reset_clocks(self) -> None:
+        """Zero all clocks and clear the timeline (new experiment)."""
+        for c in self.gpu_clock:
+            c.reset()
+        self.host_clock.reset()
+        self.timeline.clear()
+
+    def sync(self) -> float:
+        """Barrier: advance every device clock to the max; returns that time.
+
+        Devices that arrive early record non-busy 'wait' spans — this is what
+        shows up as idle troughs in the utilization trace.
+        """
+        t = max([c.now for c in self.gpu_clock] + [self.host_clock.now])
+        for c in self.gpu_clock:
+            c.wait_until(t)
+        self.host_clock.wait_until(t)
+        return t
+
+    def total_memory_usage(self) -> int:
+        return sum(m.used for m in self.gpu_memory)
+
+    def memory_usage_by_tag(self) -> dict[str, int]:
+        """Aggregate per-tag usage over all GPUs (Table IV numerator)."""
+        out: dict[str, int] = {}
+        for m in self.gpu_memory:
+            for tag, n in m.usage_by_tag().items():
+                out[tag] = out.get(tag, 0) + n
+        return out

@@ -1,0 +1,36 @@
+"""Dense affine layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import xavier_uniform, zeros
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Linear(Module):
+    """``y = x W + b`` with Glorot-initialised ``W``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ):
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def flops(self, rows: int) -> float:
+        """Forward FLOPs for ``rows`` input rows (2·m·k·n GEMM count)."""
+        return 2.0 * rows * self.in_features * self.out_features

@@ -1,0 +1,73 @@
+"""Learning-rate schedules for long multi-epoch runs."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base: call :meth:`step` once per epoch (or per iteration)."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance the schedule and apply the new rate; returns it."""
+        self.step_count += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.step_count // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int,
+                 eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        self.t_max = int(t_max)
+        self.eta_min = float(eta_min)
+
+    def get_lr(self) -> float:
+        t = min(self.step_count, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * t / self.t_max)
+        )
+
+
+class LinearWarmup(LRScheduler):
+    """Ramp from 0 to the base rate over ``warmup_steps``, then hold —
+    the standard large-batch data-parallel warmup."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int):
+        super().__init__(optimizer)
+        if warmup_steps < 1:
+            raise ValueError("warmup_steps must be >= 1")
+        self.warmup_steps = int(warmup_steps)
+
+    def get_lr(self) -> float:
+        return self.base_lr * min(1.0, self.step_count / self.warmup_steps)

@@ -1,0 +1,92 @@
+"""Parameter containers (the ``torch.nn.Module`` shape)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class: recursive parameter collection, train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its sub-modules (depth-first,
+        attribute order — deterministic, which DDP's flat all-reduce
+        relies on)."""
+        params: list[Parameter] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    params.append(value)
+            elif isinstance(value, Module):
+                for p in value.parameters():
+                    if id(p) not in seen:
+                        seen.add(id(p))
+                        params.append(p)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        for p in item.parameters():
+                            if id(p) not in seen:
+                                seen.add(id(p))
+                                params.append(p)
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    def state_dict(self) -> list[np.ndarray]:
+        """Parameter data arrays in ``parameters()`` order."""
+        return [p.data.copy() for p in self.parameters()]
+
+    def load_state_dict(self, state: list[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} arrays, model has {len(params)}"
+            )
+        for p, s in zip(params, state):
+            if p.data.shape != s.shape:
+                raise ValueError(f"shape mismatch {p.data.shape} vs {s.shape}")
+            p.data[...] = s
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError

@@ -1,0 +1,165 @@
+"""Global feature gather: shared-memory vs distributed-memory (paper Fig. 4).
+
+Every GPU holds a random list of node IDs whose feature rows live across all
+GPUs and must end up locally, in input order.
+
+**Shared-memory implementation** (WholeGraph): one gather kernel per GPU;
+NVLink/NVSwitch moves the bytes with no software staging — a thin wrapper
+over :meth:`WholeTensor.gather`.
+
+**Distributed-memory implementation** (the NCCL baseline of Fig. 4 left,
+measured in Fig. 10) runs five software steps:
+
+1. *bucket* the node IDs by home GPU (one pass over the IDs);
+2. exchange per-pair counts, then *alltoallv* the bucketed IDs;
+3. every GPU performs a *local gather* for all requesters;
+4. *alltoallv* the gathered feature rows back;
+5. *reorder* the received rows into input order.
+
+Both produce identical results; the trace records per-step simulated time so
+the Fig. 10 latency/bandwidth comparison can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsm.comm import Communicator
+from repro.dsm.whole_tensor import WholeTensor
+from repro.hardware import costmodel
+
+
+def shared_memory_gather(
+    tensor: WholeTensor, per_rank_rows: list[np.ndarray], phase: str = "gather"
+) -> tuple[list[np.ndarray], float]:
+    """All ranks gather concurrently with one kernel each.
+
+    Returns ``(per-rank results, elapsed)`` where ``elapsed`` is the
+    simulated wall time of the concurrent gather (max over ranks).
+    """
+    node = tensor.node
+    node.sync()
+    t0 = node.gpu_clock[0].now
+    results = [
+        tensor.gather(rows, rank, phase=phase)
+        for rank, rows in enumerate(per_rank_rows)
+    ]
+    t1 = node.sync()
+    return results, t1 - t0
+
+
+@dataclass
+class DistributedGatherTrace:
+    """Per-step simulated timings of the 5-step NCCL-style gather."""
+
+    step_times: dict[str, float] = field(default_factory=dict)
+    total_time: float = 0.0
+    #: payload bytes of the feature alltoallv (step 4) per rank, for the
+    #: Fig. 10 "NCCL bandwidth measured on the final alltoallv" bar
+    step4_bytes_per_rank: float = 0.0
+
+    def step4_bus_bw(self, num_ranks: int) -> float:
+        """BusBW of the feature alltoallv alone (what Fig. 10 reports)."""
+        t = self.step_times.get("alltoallv_features", 0.0)
+        if t <= 0:
+            return 0.0
+        remote = self.step4_bytes_per_rank * (num_ranks - 1) / num_ranks
+        return remote / t
+
+
+def distributed_memory_gather(
+    tensor: WholeTensor,
+    per_rank_rows: list[np.ndarray],
+    comm: Communicator,
+    phase: str = "gather_nccl",
+) -> tuple[list[np.ndarray], DistributedGatherTrace]:
+    """The explicit-communication gather of Fig. 4 (left side)."""
+    node = tensor.node
+    nr = node.num_gpus
+    if len(per_rank_rows) != nr:
+        raise ValueError("need one row list per rank")
+    trace = DistributedGatherTrace()
+    node.sync()
+    t_start = node.gpu_clock[0].now
+
+    def step_mark() -> float:
+        return node.sync()
+
+    # ---- step 1: bucket node IDs by home GPU -------------------------------
+    buckets: list[list[np.ndarray]] = []  # [requester][home] -> local rows
+    orders: list[list[np.ndarray]] = []  # positions for the final reorder
+    for rank, rows in enumerate(per_rank_rows):
+        rows = np.asarray(rows, dtype=np.int64)
+        owners, local = tensor._owners_and_local(rows)
+        row_buckets, row_orders = [], []
+        for home in range(nr):
+            mask = owners == home
+            row_buckets.append(local[mask])
+            row_orders.append(np.flatnonzero(mask))
+        buckets.append(row_buckets)
+        orders.append(row_orders)
+        # one pass over the IDs: read id, compute owner, write to bucket
+        node.gpu_clock[rank].advance(
+            costmodel.elementwise_time(rows.nbytes * 2), phase=phase
+        )
+    t1 = step_mark()
+    trace.step_times["bucket_ids"] = t1 - t_start
+
+    # ---- step 2: exchange counts, then alltoallv the IDs --------------------
+    counts = [[b.size for b in row] for row in buckets]
+    comm.allgather(counts, phase=phase, nbytes_each=8 * nr)
+    id_requests = comm.alltoallv(
+        [[b.astype(np.int64) for b in row] for row in buckets], phase=phase
+    )  # id_requests[home][requester]
+    t2 = step_mark()
+    trace.step_times["alltoallv_ids"] = t2 - t1
+
+    # ---- step 3: local gather on every home GPU ------------------------------
+    replies: list[list[np.ndarray]] = [[None] * nr for _ in range(nr)]
+    for home in range(nr):
+        part = tensor.local_part(home)
+        total_rows = 0
+        for requester in range(nr):
+            req = id_requests[home][requester]
+            replies[home][requester] = part[req]
+            total_rows += req.size
+        node.gpu_clock[home].advance(
+            costmodel.gather_time(
+                total_rows * tensor.row_bytes,
+                tensor.row_bytes,
+                num_gpus=1,  # purely local HBM reads
+            ),
+            phase=phase,
+        )
+    t3 = step_mark()
+    trace.step_times["local_gather"] = t3 - t2
+
+    # ---- step 4: alltoallv the features back ----------------------------------
+    feature_replies = comm.alltoallv(replies, phase=phase)
+    # feature_replies[requester][home]
+    t4 = step_mark()
+    trace.step_times["alltoallv_features"] = t4 - t3
+    trace.step4_bytes_per_rank = float(
+        np.mean([rows.size for rows in map(np.asarray, per_rank_rows)])
+        * tensor.row_bytes
+    )
+
+    # ---- step 5: local reorder into input order --------------------------------
+    results = []
+    for rank, rows in enumerate(per_rank_rows):
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty((rows.size, tensor.num_cols), dtype=tensor.dtype)
+        for home in range(nr):
+            pos = orders[rank][home]
+            if pos.size:
+                out[pos] = feature_replies[rank][home]
+        results.append(out)
+        node.gpu_clock[rank].advance(
+            costmodel.elementwise_time(out.nbytes * 2), phase=phase
+        )
+    t5 = step_mark()
+    trace.step_times["reorder"] = t5 - t4
+    trace.total_time = t5 - t_start
+    return results, trace

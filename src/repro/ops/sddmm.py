@@ -1,0 +1,44 @@
+"""Generalised sampled-dense-dense matrix multiplication (g-SDDMM).
+
+Computes a per-edge scalar (or vector) from the dense features of the edge's
+endpoints, "sampled" at the sparse adjacency pattern:
+
+- :func:`gsddmm_dot` — ``z_e = <u[dst_e], v[src_e]>`` — the backward of
+  g-SpMM with respect to edge weights (paper §III-C4), and the attention
+  logits of transformer-style GNNs;
+- :func:`gsddmm_add` — ``z_e = u[dst_e] + v[src_e]`` — GAT's additive
+  attention, per head.
+
+Both operate on the CSR layout (edges sorted by destination row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.segment import segment_ids_from_indptr
+
+
+def gsddmm_dot(
+    csr_indptr, csr_indices, dst_features: np.ndarray, src_features: np.ndarray
+) -> np.ndarray:
+    """Per-edge dot product of endpoint features.
+
+    ``dst_features`` is indexed by CSR row, ``src_features`` by CSR column.
+    Returns an array of shape ``(num_edges,)`` (2-D inputs) or
+    ``(num_edges, heads)`` (3-D inputs ``(nodes, heads, dim)``).
+    """
+    indices = np.asarray(csr_indices, dtype=np.int64)
+    dst_ids = segment_ids_from_indptr(csr_indptr)
+    u = dst_features[dst_ids]
+    v = src_features[indices]
+    return np.einsum("...d,...d->...", u, v)
+
+
+def gsddmm_add(
+    csr_indptr, csr_indices, dst_values: np.ndarray, src_values: np.ndarray
+) -> np.ndarray:
+    """Per-edge sum of endpoint scalars (GAT's ``a_l^T Wh_dst + a_r^T Wh_src``)."""
+    indices = np.asarray(csr_indices, dtype=np.int64)
+    dst_ids = segment_ids_from_indptr(csr_indptr)
+    return dst_values[dst_ids] + src_values[indices]

@@ -1,0 +1,14 @@
+"""Telemetry: utilization traces, bandwidth accounting, report tables."""
+
+from repro.telemetry.utilization import utilization_trace, mean_utilization
+from repro.telemetry.bandwidth import algo_bw, bus_bw, bw_from_gather_stats
+from repro.telemetry.report import format_table
+
+__all__ = [
+    "utilization_trace",
+    "mean_utilization",
+    "algo_bw",
+    "bus_bw",
+    "bw_from_gather_stats",
+    "format_table",
+]

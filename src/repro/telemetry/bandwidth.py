@@ -1,0 +1,35 @@
+"""AlgoBW / BusBW accounting (paper §IV-C1).
+
+*AlgoBW* is the bandwidth the algorithm sees: gathered bytes divided by
+time.  *BusBW* is what the NVLink hardware carries: in a uniform gather over
+``N`` GPUs only ``(N-1)/N`` of the traffic crosses the fabric, so
+``BusBW = AlgoBW · (N-1)/N``.
+"""
+
+from __future__ import annotations
+
+
+def algo_bw(total_bytes: float, seconds: float) -> float:
+    """Algorithm-visible bandwidth."""
+    if seconds <= 0:
+        return 0.0
+    return total_bytes / seconds
+
+
+def bus_bw(total_bytes: float, seconds: float, num_gpus: int) -> float:
+    """Fabric bandwidth of a uniform gather over ``num_gpus`` GPUs."""
+    if num_gpus <= 1:
+        return 0.0
+    return algo_bw(total_bytes, seconds) * (num_gpus - 1) / num_gpus
+
+
+def bw_from_gather_stats(stats: dict, num_gpus: int) -> dict[str, float]:
+    """Compute both bandwidths from a :class:`WholeTensor` stats dict."""
+    t = stats.get("gather_time", 0.0)
+    total = stats.get("gather_bytes", 0)
+    remote = stats.get("gather_remote_bytes", 0)
+    return {
+        "algo_bw": algo_bw(total, t),
+        "bus_bw": algo_bw(remote, t),
+        "num_gpus": num_gpus,
+    }

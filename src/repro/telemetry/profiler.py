@@ -1,0 +1,110 @@
+"""Phase profiler: summarise where simulated time goes.
+
+The optimisation workflow the reproduction follows (profile first, then
+optimise) applies to the simulated machine too: wrap a region in
+:class:`PhaseProfiler` and get a per-device, per-phase table of the
+simulated time it consumed — the tool behind the Fig. 9/11 style analyses.
+
+Example
+-------
+>>> with PhaseProfiler(node) as prof:
+...     trainer.train_epoch()
+>>> print(prof.report())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.machine import SimNode
+from repro.telemetry.report import format_table
+
+
+@dataclass
+class PhaseSummary:
+    device: str
+    phase: str
+    total: float
+    spans: int
+    busy_fraction: float
+
+
+class PhaseProfiler:
+    """Collects the spans recorded while the context is active."""
+
+    def __init__(self, node: SimNode):
+        self.node = node
+        self._start_index = 0
+        self._start_times: dict[str, float] = {}
+        self._end_times: dict[str, float] = {}
+        self.summaries: list[PhaseSummary] = []
+
+    def __enter__(self) -> "PhaseProfiler":
+        self._start_index = len(self.node.timeline.spans)
+        self._start_times = {
+            c.device: c.now for c in self.node.gpu_clock
+        }
+        self._start_times[self.node.host_clock.device] = (
+            self.node.host_clock.now
+        )
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._end_times = {c.device: c.now for c in self.node.gpu_clock}
+        self._end_times[self.node.host_clock.device] = (
+            self.node.host_clock.now
+        )
+        self._summarise()
+
+    def _summarise(self) -> None:
+        spans = self.node.timeline.spans[self._start_index :]
+        acc: dict[tuple[str, str], list] = {}
+        for s in spans:
+            key = (s.device, s.phase)
+            entry = acc.setdefault(key, [0.0, 0, 0.0])
+            entry[0] += s.duration
+            entry[1] += 1
+            entry[2] += s.duration if s.busy else 0.0
+        self.summaries = [
+            PhaseSummary(
+                device=dev,
+                phase=phase,
+                total=total,
+                spans=count,
+                busy_fraction=busy / total if total else 0.0,
+            )
+            for (dev, phase), (total, count, busy) in sorted(acc.items())
+        ]
+
+    def elapsed(self, device: str | None = None) -> float:
+        """Simulated wall time the region took (max over devices)."""
+        if device is not None:
+            return self._end_times[device] - self._start_times[device]
+        return max(
+            self._end_times[d] - self._start_times[d]
+            for d in self._end_times
+        )
+
+    def phase_totals(self, device: str | None = None) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for s in self.summaries:
+            if device is None or s.device == device:
+                out[s.phase] = out.get(s.phase, 0.0) + s.total
+        return out
+
+    def report(self, device: str | None = None) -> str:
+        """Aligned per-phase table (largest consumers first)."""
+        rows = [
+            s for s in self.summaries
+            if device is None or s.device == device
+        ]
+        rows.sort(key=lambda s: -s.total)
+        return format_table(
+            ["Device", "Phase", "time (ms)", "spans", "busy %"],
+            [
+                [s.device, s.phase, s.total * 1e3, s.spans,
+                 f"{100*s.busy_fraction:.0f}%"]
+                for s in rows
+            ],
+            title=f"Phase profile ({self.elapsed()*1e3:.3f} ms simulated)",
+        )

@@ -1,0 +1,65 @@
+"""GPU-utilization traces from the simulated timeline (paper Fig. 12).
+
+``nvidia-smi``-style utilization: the fraction of each sampling window in
+which the device had a kernel resident (a *busy* span).  WholeGraph keeps
+every phase on the GPU, so utilization stays ≥95 %; the baselines' GPUs
+idle through the host sampling/gather phases and the trace collapses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.clock import Timeline
+
+
+def utilization_trace(
+    timeline: Timeline,
+    device: str,
+    window: float,
+    t_start: float = 0.0,
+    t_end: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(window_centers, utilization%)`` for one device.
+
+    ``window`` is the sampling period (``nvidia-smi`` polls ~1 s; the
+    experiments use a window that yields ~100 points per run).
+    """
+    spans = [s for s in timeline.device_spans(device)]
+    if t_end is None:
+        t_end = max((s.end for s in spans), default=t_start + window)
+    edges = np.arange(t_start, t_end + window, window)
+    if edges.shape[0] < 2:
+        edges = np.array([t_start, t_start + window])
+    busy = np.zeros(edges.shape[0] - 1)
+    for s in spans:
+        if not s.busy:
+            continue
+        # distribute the busy span over the windows it overlaps
+        lo = np.searchsorted(edges, s.start, side="right") - 1
+        hi = np.searchsorted(edges, s.end, side="left")
+        for w in range(max(lo, 0), min(hi, busy.shape[0])):
+            overlap = min(s.end, edges[w + 1]) - max(s.start, edges[w])
+            if overlap > 0:
+                busy[w] += overlap
+    centers = (edges[:-1] + edges[1:]) / 2
+    return centers, 100.0 * busy / window
+
+
+def mean_utilization(
+    timeline: Timeline, device: str,
+    t_start: float = 0.0, t_end: float | None = None,
+) -> float:
+    """Overall busy fraction (%) of a device over ``[t_start, t_end]``."""
+    spans = timeline.device_spans(device)
+    if t_end is None:
+        t_end = max((s.end for s in spans), default=t_start)
+    total = t_end - t_start
+    if total <= 0:
+        return 0.0
+    busy = sum(
+        max(0.0, min(s.end, t_end) - max(s.start, t_start))
+        for s in spans
+        if s.busy
+    )
+    return 100.0 * busy / total

@@ -1,0 +1,23 @@
+"""Mini-batch GNN training on the multi-GPU shared-memory store.
+
+- :mod:`repro.train.pipeline` — the per-iteration sample → append-unique →
+  gather → train pipeline with per-phase simulated timing;
+- :mod:`repro.train.trainer` — epoch loops, evaluation, the WholeGraph
+  trainer (paper §III-D training flow);
+- :mod:`repro.train.ddp` — data-parallel gradient synchronisation;
+- :mod:`repro.train.metrics` — accuracy and epoch statistics.
+"""
+
+from repro.train.pipeline import IterationResult, run_iteration
+from repro.train.trainer import WholeGraphTrainer, EpochStats
+from repro.train.ddp import DistributedDataParallel
+from repro.train.metrics import accuracy
+
+__all__ = [
+    "IterationResult",
+    "run_iteration",
+    "WholeGraphTrainer",
+    "EpochStats",
+    "DistributedDataParallel",
+    "accuracy",
+]

@@ -1,0 +1,50 @@
+"""Early stopping on a validation metric."""
+
+from __future__ import annotations
+
+
+class EarlyStopping:
+    """Stop training when the monitored metric stalls.
+
+    >>> stopper = EarlyStopping(patience=3, mode="max")
+    >>> for epoch in range(100):
+    ...     acc = trainer.evaluate()
+    ...     if stopper.step(acc):
+    ...         break
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0,
+                 mode: str = "max"):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.mode = mode
+        self.best: float | None = None
+        self.best_step = -1
+        self.num_bad = 0
+        self._step = -1
+
+    def _improved(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "max":
+            return value > self.best + self.min_delta
+        return value < self.best - self.min_delta
+
+    def step(self, value: float) -> bool:
+        """Record a metric value; returns True when training should stop."""
+        self._step += 1
+        if self._improved(value):
+            self.best = float(value)
+            self.best_step = self._step
+            self.num_bad = 0
+        else:
+            self.num_bad += 1
+        return self.num_bad >= self.patience
+
+    @property
+    def should_stop(self) -> bool:
+        return self.num_bad >= self.patience

@@ -1,0 +1,73 @@
+"""Evaluation metrics and statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.shape[0] == 0:
+        return 0.0
+    return float(np.mean(logits.argmax(axis=-1) == labels))
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic.
+
+    AUC = (Σ ranks of positives − n⁺(n⁺+1)/2) / (n⁺ · n⁻), with midranks
+    for tied scores.  Used by the link-prediction example.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    ranks[order] = np.arange(1, scores.size + 1)
+    # midranks for ties
+    sorted_scores = scores[order]
+    i = 0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + j + 2) / 2.0
+        i = j + 1
+    pos_rank_sum = ranks[labels].sum()
+    return float(
+        (pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+    )
+
+
+@dataclass
+class PhaseTimes:
+    """Per-phase simulated seconds of one iteration or epoch."""
+
+    sample: float = 0.0
+    gather: float = 0.0
+    train: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.sample + self.gather + self.train
+
+    def __iadd__(self, other: "PhaseTimes") -> "PhaseTimes":
+        self.sample += other.sample
+        self.gather += other.gather
+        self.train += other.train
+        return self
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "sample": self.sample,
+            "gather": self.gather,
+            "train": self.train,
+        }

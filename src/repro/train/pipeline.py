@@ -1,0 +1,91 @@
+"""The WholeGraph training iteration (paper Fig. 1 reworked onto GPUs).
+
+One iteration on one GPU rank:
+
+1. **sample** — multi-layer GPU neighbor sampling + AppendUnique over the
+   multi-GPU graph store (all on-device, peer reads over NVLink);
+2. **gather** — one global-gather kernel pulls the input frontier's
+   features out of the distributed shared memory;
+3. **train** — forward, backward, gradient all-reduce, optimizer step.
+
+Each phase advances the rank's simulated clock under its phase label;
+Fig. 9/11/12 are read off the resulting timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.ops.neighbor_sampler import NeighborSampler, SampledSubgraph
+from repro.train.metrics import PhaseTimes, accuracy
+
+
+@dataclass
+class IterationResult:
+    """Everything one training iteration produced."""
+
+    loss: float
+    batch_accuracy: float
+    times: PhaseTimes
+    subgraph: SampledSubgraph
+    num_input_nodes: int
+
+
+def run_iteration(
+    store,
+    sampler: NeighborSampler,
+    model,
+    seeds: np.ndarray,
+    rank: int,
+    rng: np.random.Generator,
+    optimizer=None,
+    charge_train: bool = True,
+    compute_grads: bool | None = None,
+    train_time_factor: float = 1.0,
+) -> IterationResult:
+    """Run one mini-batch iteration on ``rank``.
+
+    ``optimizer`` given: backward + step.  ``compute_grads=True`` without an
+    optimizer: backward only (the DDP path, which steps after the gradient
+    all-reduce).  Neither: pure inference (evaluation path).  The returned
+    phase times are the clock deltas this iteration added on ``rank``.
+    """
+    if compute_grads is None:
+        compute_grads = optimizer is not None
+    node = store.node
+    clock = node.gpu_clock[rank]
+
+    t0 = clock.now
+    subgraph = sampler.sample(seeds, rank, rng, phase="sample")
+    t1 = clock.now
+
+    x_np = store.gather_features(subgraph.input_nodes, rank, phase="gather")
+    t2 = clock.now
+
+    x = Tensor(x_np)
+    logits = model(subgraph, x, rng if compute_grads else None)
+    labels = store.labels[seeds]
+    loss = F.cross_entropy(logits, labels)
+    if compute_grads:
+        model.zero_grad()
+        loss.backward()
+        if optimizer is not None:
+            optimizer.step()
+    if charge_train:
+        clock.advance(
+            model.estimate_train_time(subgraph) * train_time_factor,
+            phase="train",
+        )
+    t3 = clock.now
+
+    return IterationResult(
+        loss=float(loss.data),
+        batch_accuracy=accuracy(logits.data, labels),
+        times=PhaseTimes(sample=t1 - t0, gather=t2 - t1, train=t3 - t2),
+        subgraph=subgraph,
+        num_input_nodes=int(subgraph.input_nodes.shape[0]),
+    )

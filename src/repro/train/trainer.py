@@ -1,0 +1,278 @@
+"""The WholeGraph trainer: epoch loops, evaluation, timing collection.
+
+Two execution modes:
+
+- ``compute_ranks="one"`` (default) — SPMD-symmetric simulation: rank 0
+  runs the real math and its per-phase durations are charged to the other
+  ranks too (all ranks process statistically-identical batches, the
+  standard symmetry assumption of data-parallel performance models).  This
+  is the mode the performance experiments run in.
+- ``compute_ranks="all"`` — full data-parallel training: one model replica
+  per GPU, per-rank batches, real gradient all-reduce every step
+  (paper §III-D).  Used by the DDP correctness tests and multi-replica
+  accuracy runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import config
+from repro.dsm.comm import Communicator
+from repro.nn.models import build_model
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.ops.neighbor_sampler import NeighborSampler
+from repro.train.ddp import DistributedDataParallel, charge_allreduce
+from repro.train.metrics import PhaseTimes
+from repro.train.pipeline import run_iteration
+from repro.utils.rng import RngPool
+
+
+@dataclass
+class EpochStats:
+    """Aggregate results of one training epoch."""
+
+    epoch: int
+    mean_loss: float
+    iterations: int
+    #: per-phase simulated seconds summed over iterations (rank-0 view)
+    times: PhaseTimes
+    #: simulated wall-clock duration of the epoch
+    epoch_time: float
+
+    def as_row(self) -> dict[str, float]:
+        out = {"epoch": self.epoch, "loss": self.mean_loss,
+               "iters": self.iterations, "epoch_time": self.epoch_time}
+        out.update(self.times.as_dict())
+        return out
+
+
+class WholeGraphTrainer:
+    """Drives mini-batch GNN training on a :class:`MultiGpuGraphStore`."""
+
+    def __init__(
+        self,
+        store,
+        model_name: str,
+        seed: int = 0,
+        batch_size: int = config.BATCH_SIZE,
+        fanouts=None,
+        hidden: int = config.HIDDEN_SIZE,
+        num_layers: int = config.NUM_LAYERS,
+        lr: float = 3e-3,
+        dropout: float = 0.5,
+        compute_ranks: str = "one",
+        layer_cost_factor: float = 1.0,
+    ):
+        """``layer_cost_factor`` scales the simulated *training-compute* time
+        — 1.0 for WholeGraph's fused layers, >1 when the model is built from
+        third-party (DGL/PyG) layer implementations (paper §IV-C5)."""
+        self.store = store
+        self.node = store.node
+        self.model_name = model_name
+        self.layer_cost_factor = float(layer_cost_factor)
+        self.batch_size = int(batch_size)
+        if fanouts is None:
+            fanouts = [config.FANOUT] * num_layers
+        else:
+            # an explicit fanout list defines the depth
+            fanouts = list(fanouts)
+            num_layers = len(fanouts)
+        self.sampler = NeighborSampler(store, fanouts)
+        self.rngs = RngPool(seed, self.node.num_gpus)
+        self.epoch_rng = self.rngs.named("epochs")
+        if compute_ranks not in ("one", "all"):
+            raise ValueError("compute_ranks must be 'one' or 'all'")
+        self.compute_ranks = compute_ranks
+
+        init_rng = self.rngs.named("init")
+        self.model = build_model(
+            model_name, store.feature_dim, store.num_classes, init_rng,
+            hidden=hidden, num_layers=num_layers, dropout=dropout,
+        )
+        self.optimizer = Adam(self.model.parameters(), lr=lr)
+        if compute_ranks == "all":
+            self.replicas = [self.model] + [
+                build_model(
+                    model_name, store.feature_dim, store.num_classes,
+                    self.rngs.named(f"replica{r}"),
+                    hidden=hidden, num_layers=num_layers, dropout=dropout,
+                )
+                for r in range(1, self.node.num_gpus)
+            ]
+            self.comm = Communicator(self.node)
+            self.ddp = DistributedDataParallel(self.replicas, self.comm)
+            self.optimizers = [Adam(r.parameters(), lr=lr) for r in self.replicas]
+            self.optimizers[0] = self.optimizer
+        else:
+            self.replicas = [self.model]
+            self.ddp = None
+
+        self._epoch = 0
+        self.history: list[EpochStats] = []
+
+    # -- training ---------------------------------------------------------------------
+
+    def _epoch_batches(self) -> list[np.ndarray]:
+        """Shuffled train nodes cut into per-step global batches."""
+        order = self.epoch_rng.permutation(self.store.train_nodes)
+        nb = max(1, order.shape[0] // self.batch_size)
+        return [
+            order[i * self.batch_size : (i + 1) * self.batch_size]
+            for i in range(nb)
+        ]
+
+    def train_epoch(self, max_iterations: int | None = None) -> EpochStats:
+        """One pass over the training nodes (optionally truncated)."""
+        self.model.train()
+        node = self.node
+        batches = self._epoch_batches()
+        if max_iterations is not None:
+            batches = batches[:max_iterations]
+        t_epoch_start = node.sync()
+        losses: list[float] = []
+        phase_totals = PhaseTimes()
+
+        for it, batch in enumerate(batches):
+            if self.compute_ranks == "all":
+                losses.append(self._step_all_ranks(batch, it))
+            else:
+                losses.append(self._step_symmetric(batch, phase_totals))
+        t_epoch_end = node.sync()
+
+        if self.compute_ranks == "all":
+            phase_totals = PhaseTimes(
+                sample=node.timeline.phase_total("sample", node.gpu_memory[0].device),
+                gather=node.timeline.phase_total("gather", node.gpu_memory[0].device),
+                train=node.timeline.phase_total("train", node.gpu_memory[0].device),
+            )
+
+        stats = EpochStats(
+            epoch=self._epoch,
+            mean_loss=float(np.mean(losses)) if losses else float("nan"),
+            iterations=len(batches),
+            times=phase_totals,
+            epoch_time=t_epoch_end - t_epoch_start,
+        )
+        self._epoch += 1
+        self.history.append(stats)
+        return stats
+
+    def _step_symmetric(self, batch: np.ndarray,
+                        phase_totals: PhaseTimes) -> float:
+        """Rank 0 computes; other ranks are charged the same durations."""
+        node = self.node
+        res = run_iteration(
+            self.store, self.sampler, self.model, batch, 0,
+            self.rngs.rank(0), optimizer=self.optimizer, charge_train=True,
+            train_time_factor=self.layer_cost_factor,
+        )
+        for r in range(1, node.num_gpus):
+            clk = node.gpu_clock[r]
+            clk.advance(res.times.sample, phase="sample")
+            clk.advance(res.times.gather, phase="gather")
+            clk.advance(res.times.train, phase="train")
+        charge_allreduce(node, self.model.grad_nbytes(), phase="train")
+        node.sync()
+        phase_totals += res.times
+        return res.loss
+
+    def _step_all_ranks(self, batch: np.ndarray, it: int) -> float:
+        """True DDP: per-rank batches, real gradient all-reduce."""
+        node = self.node
+        # split the global batch across ranks (pad by wrapping)
+        per_rank = np.array_split(batch, node.num_gpus)
+        losses = []
+        for rank in range(node.num_gpus):
+            seeds = per_rank[rank]
+            if seeds.size == 0:
+                seeds = batch[:1]
+            model = self.replicas[rank]
+            model.train()
+            res = run_iteration(
+                self.store, self.sampler, model, seeds, rank,
+                self.rngs.rank(rank), optimizer=None, charge_train=True,
+                compute_grads=True,
+            )
+            losses.append(res.loss)
+        self.ddp.sync_gradients(phase="train")
+        for opt in self.optimizers:
+            opt.step()
+        node.sync()
+        return float(np.mean(losses))
+
+    # -- inference --------------------------------------------------------------------
+
+    def predict(
+        self,
+        nodes: np.ndarray,
+        batch_size: int | None = None,
+        rank: int = 0,
+        charge: bool = True,
+    ) -> np.ndarray:
+        """Predict class labels for ``nodes`` (sampled inference).
+
+        Unlike training steps, inference involves no gradient collectives
+        (paper §I) — each batch is sample + gather + a forward pass, all on
+        ``rank``.  With ``charge=True`` the phases land on the timeline
+        under ``sample`` / ``gather`` / ``inference``.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        batch_size = batch_size or self.batch_size
+        self.model.eval()
+        sampler = NeighborSampler(
+            self.store, self.sampler.fanouts, charge=charge
+        )
+        rng = self.rngs.named("inference")
+        out = np.empty(nodes.shape[0], dtype=np.int64)
+        for i in range(0, nodes.shape[0], batch_size):
+            seeds = nodes[i : i + batch_size]
+            sg = sampler.sample(seeds, rank, rng)
+            if charge:
+                x_np = self.store.gather_features(
+                    sg.input_nodes, rank, phase="gather"
+                )
+                self.node.gpu_clock[rank].advance(
+                    self.model.estimate_inference_time(sg)
+                    * self.layer_cost_factor,
+                    phase="inference",
+                )
+            else:
+                x_np = self.store.feature_tensor.gather_no_cost(
+                    sg.input_nodes
+                )
+            logits = self.model(sg, Tensor(x_np), None)
+            out[i : i + seeds.shape[0]] = logits.data.argmax(axis=-1)
+        self.model.train()
+        return out
+
+    # -- evaluation ----------------------------------------------------------------------
+
+    def evaluate(self, nodes: np.ndarray | None = None,
+                 batch_size: int | None = None) -> float:
+        """Sampled-inference accuracy over ``nodes`` (default: validation)."""
+        if nodes is None:
+            nodes = self.store.val_nodes
+        nodes = np.asarray(nodes, dtype=np.int64)
+        batch_size = batch_size or self.batch_size
+        self.model.eval()
+        eval_sampler = NeighborSampler(
+            self.store, self.sampler.fanouts, charge=False
+        )
+        rng = self.rngs.named("eval")
+        correct = 0
+        for i in range(0, nodes.shape[0], batch_size):
+            seeds = nodes[i : i + batch_size]
+            sg = eval_sampler.sample(seeds, 0, rng)
+            x = Tensor(
+                self.store.feature_tensor.gather_no_cost(sg.input_nodes)
+            )
+            logits = self.model(sg, x, None)
+            correct += int(
+                (logits.data.argmax(axis=-1) == self.store.labels[seeds]).sum()
+            )
+        self.model.train()
+        return correct / max(nodes.shape[0], 1)

@@ -1,0 +1,52 @@
+"""Deterministic random-stream management.
+
+Multi-process GNN training needs one independent random stream per rank (for
+sampling) plus shared streams for dataset generation.  We derive all of them
+from a single root seed with ``numpy``'s ``SeedSequence`` spawning, so any
+experiment is reproducible from one integer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def spawn_rng(seed: int, *keys) -> np.random.Generator:
+    """Derive an independent generator from ``seed`` and a tuple of keys.
+
+    Keys may be ints or strings; strings are hashed stably (not with
+    ``hash()``, which is salted per process).
+    """
+    ints = []
+    for key in keys:
+        if isinstance(key, str):
+            ints.append(int.from_bytes(key.encode("utf-8"), "little") % (2**32))
+        else:
+            ints.append(int(key) % (2**32))
+    return np.random.default_rng(np.random.SeedSequence([seed, *ints]))
+
+
+class RngPool:
+    """A pool of per-rank generators derived from one root seed.
+
+    Example
+    -------
+    >>> pool = RngPool(seed=0, num_ranks=8)
+    >>> r0 = pool.rank(0)   # sampling stream of rank 0
+    >>> shared = pool.named("features")  # stream shared by all ranks
+    """
+
+    def __init__(self, seed: int, num_ranks: int):
+        self.seed = int(seed)
+        self.num_ranks = int(num_ranks)
+        self._rank_rngs = [
+            spawn_rng(self.seed, "rank", r) for r in range(self.num_ranks)
+        ]
+
+    def rank(self, rank: int) -> np.random.Generator:
+        """Per-rank independent stream."""
+        return self._rank_rngs[rank]
+
+    def named(self, name: str) -> np.random.Generator:
+        """A stream identified by name, shared across ranks."""
+        return spawn_rng(self.seed, name)

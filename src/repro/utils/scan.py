@@ -1,0 +1,30 @@
+"""Prefix-sum primitives.
+
+The AppendUnique op (paper §III-C2) assigns contiguous sub-graph IDs to
+unique neighbor nodes by running an *exclusive prefix sum* over per-bucket
+counts.  These helpers are the NumPy equivalents of the GPU scan kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def exclusive_prefix_sum(values) -> np.ndarray:
+    """Exclusive (pre-shift) prefix sum.
+
+    ``out[i] = sum(values[:i])``, so ``out[0] == 0`` and the total is *not*
+    included.  The total can be recovered as ``out[-1] + values[-1]``.
+    """
+    v = np.asarray(values)
+    out = np.empty(v.shape[0], dtype=np.int64)
+    if v.shape[0] == 0:
+        return out
+    out[0] = 0
+    np.cumsum(v[:-1], out=out[1:])
+    return out
+
+
+def inclusive_prefix_sum(values) -> np.ndarray:
+    """Inclusive prefix sum: ``out[i] = sum(values[:i+1])``."""
+    return np.cumsum(np.asarray(values, dtype=np.int64))

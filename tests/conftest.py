@@ -1,0 +1,45 @@
+"""Shared fixtures for the WholeGraph-reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graph import MultiGpuGraphStore, load_dataset
+from repro.hardware import SimNode
+
+# a lean hypothesis profile: the default example count makes the heavier
+# graph-op properties slow on this single-core box
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def node() -> SimNode:
+    """A fresh 8-GPU DGX-A100 model."""
+    return SimNode()
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small labelled products-like dataset (session-cached)."""
+    return load_dataset(
+        "ogbn-products", num_nodes=2000, seed=7, feature_dim=16,
+        num_classes=5,
+    )
+
+
+@pytest.fixture
+def small_store(small_dataset) -> MultiGpuGraphStore:
+    return MultiGpuGraphStore(SimNode(), small_dataset, seed=0)

@@ -1,0 +1,153 @@
+"""Ablation studies and the inference path."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments import ablations
+from repro.graph import MultiGpuGraphStore
+from repro.hardware import SimNode, costmodel
+from repro.ops.append_unique import append_unique, sort_based_append_unique
+from repro.ops.neighbor_sampler import NeighborSampler
+from repro.train import WholeGraphTrainer
+
+
+# -- sort-based unique: same contract as the hash-based op -----------------------
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.lists(st.integers(min_value=0, max_value=400), max_size=250),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_sort_unique_invariants(nt, neighbor_list, seed):
+    rng = np.random.default_rng(seed)
+    targets = rng.choice(1500, size=nt, replace=False)
+    neighbors = np.array(neighbor_list, dtype=np.int64)
+    res = sort_based_append_unique(targets, neighbors)
+    assert np.array_equal(res.unique_nodes[:nt], targets)
+    assert np.unique(res.unique_nodes).shape[0] == res.num_unique
+    assert set(res.unique_nodes.tolist()) == (
+        set(targets.tolist()) | set(neighbors.tolist())
+    )
+    assert np.array_equal(res.unique_nodes[res.neighbor_subgraph_ids],
+                          neighbors)
+    c = Counter(neighbors.tolist())
+    expected = np.array([c.get(n, 0) for n in res.unique_nodes.tolist()])
+    assert np.array_equal(res.duplicate_counts, expected)
+
+
+def test_sort_and_hash_unique_same_node_sets():
+    rng = np.random.default_rng(5)
+    targets = rng.choice(500, size=20, replace=False)
+    neighbors = rng.integers(0, 500, size=300)
+    a = append_unique(targets, neighbors)
+    b = sort_based_append_unique(targets, neighbors)
+    assert a.num_unique == b.num_unique
+    assert set(a.unique_nodes.tolist()) == set(b.unique_nodes.tolist())
+
+
+def test_sort_unique_rejects_duplicate_targets():
+    with pytest.raises(ValueError):
+        sort_based_append_unique([3, 3], [1])
+
+
+def test_sampler_unique_impl_validation(small_store):
+    with pytest.raises(ValueError):
+        NeighborSampler(small_store, [5], unique_impl="trie")
+
+
+def test_sort_unique_charged_slower_than_hash(small_dataset):
+    """The §III-C2 rationale: hashing beats sorting on the sampling phase."""
+    times = {}
+    for impl in ("hash", "sort"):
+        node = SimNode()
+        store = MultiGpuGraphStore(node, small_dataset, seed=0)
+        sampler = NeighborSampler(store, [8, 8], unique_impl=impl)
+        node.reset_clocks()
+        sampler.sample(store.train_nodes[:64], 0, np.random.default_rng(1))
+        times[impl] = node.timeline.phase_total("sample")
+    assert times["sort"] > times["hash"]
+
+
+# -- cost-model pieces behind the ablations ----------------------------------------
+
+def test_backward_scatter_atomic_premium():
+    # large enough that launch overhead is amortised
+    plain = costmodel.backward_scatter_time(10**6, 0, 1024)
+    atomic = costmodel.backward_scatter_time(0, 10**6, 1024)
+    assert atomic > 2 * plain
+
+
+def test_sort_unique_slower_than_hash_per_key():
+    keys = 1_000_000
+    assert costmodel.sort_unique_time(keys) > costmodel.hash_table_time(
+        keys * 2
+    )
+
+
+# -- the three ablation studies -------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    return ablations.run(num_nodes=6000)
+
+
+def test_ablations_all_positive_speedup(ablation_results):
+    ablations.check_shape(ablation_results)
+
+
+def test_ablation_report_lists_all(ablation_results):
+    text = ablations.report(ablation_results)
+    for r in ablation_results:
+        assert r.name in text
+
+
+def test_um_ablation_is_dominant(ablation_results):
+    by_name = {r.name: r for r in ablation_results}
+    um = by_name["feature storage substrate"]
+    others = [r for r in ablation_results if r is not um]
+    assert all(um.speedup > o.speedup for o in others)
+
+
+# -- inference -------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def trained(small_dataset):
+    tr = WholeGraphTrainer(
+        MultiGpuGraphStore(SimNode(), small_dataset, seed=0), "graphsage",
+        seed=0, batch_size=32, fanouts=[5, 5], hidden=16, lr=0.02,
+        dropout=0.0,
+    )
+    for _ in range(6):
+        tr.train_epoch()
+    return tr
+
+
+def test_predict_matches_evaluate_accuracy(trained):
+    nodes = trained.store.val_nodes
+    preds = trained.predict(nodes, charge=False)
+    acc = float(np.mean(preds == trained.store.labels[nodes]))
+    assert acc > 0.85
+    assert preds.shape == nodes.shape
+
+
+def test_predict_charges_inference_phase(trained):
+    node = trained.node
+    node.reset_clocks()
+    trained.predict(trained.store.val_nodes[:32], rank=2)
+    device = node.gpu_memory[2].device
+    bd = node.timeline.phase_breakdown(device)
+    assert bd.get("inference", 0) > 0
+    assert bd.get("sample", 0) > 0
+    # inference involves no collective phases
+    assert "allreduce" not in bd
+    # and runs entirely on the chosen rank
+    assert node.gpu_clock[0].now == 0
+
+
+def test_predict_leaves_model_in_train_mode(trained):
+    trained.predict(trained.store.val_nodes[:8], charge=False)
+    assert trained.model.training

@@ -1,0 +1,88 @@
+"""Cyclic (round-robin) WholeTensor partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsm import Communicator, WholeTensor
+from repro.hardware import SimNode
+from repro.ops.gather import distributed_memory_gather, shared_memory_gather
+
+
+@pytest.fixture
+def cyclic(rng):
+    node = SimNode()
+    t = WholeTensor(node, 403, 3, partition="cyclic", charge_setup=False)
+    host = rng.standard_normal((403, 3)).astype(np.float32)
+    t.load_from_host(host)
+    return node, t, host
+
+
+def test_cyclic_ownership_formula(cyclic):
+    node, t, _ = cyclic
+    rows = np.arange(403)
+    assert np.array_equal(t.rank_of_row(rows), rows % 8)
+
+
+def test_cyclic_rows_per_rank_cover_all(cyclic):
+    _, t, _ = cyclic
+    assert sum(t.rows_per_rank) == 403
+    # ranks 0..2 get one extra row (403 = 50*8 + 3)
+    assert t.rows_per_rank == [51, 51, 51, 50, 50, 50, 50, 50]
+
+
+def test_cyclic_local_parts_hold_strided_rows(cyclic):
+    _, t, host = cyclic
+    for r in range(8):
+        assert np.array_equal(t.local_part(r), host[r::8])
+
+
+@given(st.lists(st.integers(min_value=0, max_value=402), max_size=50))
+def test_cyclic_gather_property(rows):
+    node = SimNode()
+    t = WholeTensor(node, 403, 3, partition="cyclic", charge_setup=False)
+    host = np.random.default_rng(1).standard_normal((403, 3)).astype(
+        np.float32
+    )
+    t.load_from_host(host)
+    rows = np.array(rows, dtype=np.int64)
+    assert np.array_equal(t.gather(rows, 0), host[rows])
+
+
+def test_cyclic_scatter_roundtrip(cyclic, rng):
+    _, t, _ = cyclic
+    rows = np.array([0, 7, 8, 402])
+    vals = rng.standard_normal((4, 3)).astype(np.float32)
+    t.scatter(rows, vals, 1)
+    assert np.array_equal(t.gather_no_cost(rows), vals)
+
+
+def test_cyclic_balances_sequential_access(rng):
+    """Sequential row ranges spread over all GPUs (the cyclic layout's
+    point), unlike the block layout where they hit one GPU."""
+    node = SimNode()
+    cyc = WholeTensor(node, 800, 2, partition="cyclic", charge_setup=False)
+    blk = WholeTensor(node, 800, 2, partition="block", charge_setup=False)
+    rows = np.arange(64)  # a contiguous range
+    assert len(set(cyc.rank_of_row(rows).tolist())) == 8
+    assert len(set(blk.rank_of_row(rows).tolist())) == 1
+
+
+def test_cyclic_works_with_both_gather_impls(cyclic, rng):
+    node, t, host = cyclic
+    per_rank = [rng.integers(0, 403, size=30) for _ in range(8)]
+    shared, _ = shared_memory_gather(t, per_rank)
+    dist, _ = distributed_memory_gather(t, per_rank, Communicator(node))
+    for s, d, rows in zip(shared, dist, per_rank):
+        assert np.array_equal(s, host[rows])
+        assert np.array_equal(d, host[rows])
+
+
+def test_cyclic_rejects_rows_per_rank():
+    node = SimNode()
+    with pytest.raises(ValueError):
+        WholeTensor(node, 100, 2, partition="cyclic",
+                    rows_per_rank=[100, 0, 0, 0, 0, 0, 0, 0])
+    with pytest.raises(ValueError):
+        WholeTensor(node, 100, 2, partition="diagonal")

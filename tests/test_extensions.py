@@ -1,0 +1,283 @@
+"""Extensions: host-pinned storage, edge features, link prediction,
+multi-node cluster training."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterTrainer
+from repro.dsm import HostPinnedTensor
+from repro.graph import MultiGpuGraphStore, load_dataset
+from repro.hardware import SimNode
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.ops.negative_sampling import (
+    edges_exist,
+    sample_negative_edges,
+    sample_positive_edges,
+    sort_rows,
+)
+from repro.ops.neighbor_sampler import NeighborSampler
+from repro.train.metrics import roc_auc
+from tests.test_nn_tensor import numeric_grad
+
+
+# -- host-pinned storage ------------------------------------------------------------
+
+def test_host_pinned_gather_correct(rng):
+    node = SimNode()
+    t = HostPinnedTensor(node, 300, 4)
+    host = rng.standard_normal((300, 4)).astype(np.float32)
+    t.load_from_host(host)
+    rows = np.array([0, 299, 17])
+    assert np.array_equal(t.gather(rows, 0), host[rows])
+    assert np.array_equal(t.gather_no_cost(rows), host[rows])
+    with pytest.raises(IndexError):
+        t.gather(np.array([300]), 0)
+
+
+def test_host_pinned_much_slower_than_device(rng):
+    """The §III-B bandwidth argument measured through the gather path."""
+    from repro.dsm import WholeTensor
+
+    node = SimNode()
+    host_t = HostPinnedTensor(node, 10_000, 128)
+    dev_t = WholeTensor(node, 10_000, 128, charge_setup=False)
+    rows = rng.integers(0, 10_000, size=5000)
+    node.reset_clocks()
+    host_t.gather(rows, 0)
+    t_host = node.gpu_clock[0].now
+    node.reset_clocks()
+    dev_t.gather(rows, 0)
+    t_dev = node.gpu_clock[0].now
+    assert t_host > 5 * t_dev
+
+
+def test_host_pinned_accounting_on_host_ledger():
+    node = SimNode()
+    HostPinnedTensor(node, 100, 8, tag="feature")
+    assert node.host_memory.usage_by_tag()["feature"] == 100 * 8 * 4
+    assert node.total_memory_usage() == 0  # no GPU memory used
+
+
+def test_store_feature_location_host(small_dataset):
+    node = SimNode()
+    store = MultiGpuGraphStore(node, small_dataset, seed=0,
+                               feature_location="host_pinned")
+    s = np.array([0, 7])
+    got = store.gather_features(s, 0)
+    orig = store.partition.to_original[s]
+    assert np.allclose(got, small_dataset.features[orig])
+    with pytest.raises(ValueError):
+        MultiGpuGraphStore(node, small_dataset, feature_location="floppy")
+
+
+def test_trainer_runs_on_host_pinned_store(small_dataset):
+    from repro.train import WholeGraphTrainer
+
+    node = SimNode()
+    store = MultiGpuGraphStore(node, small_dataset, seed=0,
+                               feature_location="host_pinned")
+    tr = WholeGraphTrainer(store, "gcn", seed=0, batch_size=32,
+                           fanouts=[5], hidden=8, lr=0.02, dropout=0.0)
+    stats = tr.train_epoch(max_iterations=2)
+    assert np.isfinite(stats.mean_loss)
+
+
+# -- edge features --------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def weighted_store():
+    ds = load_dataset("ogbn-products", num_nodes=1500, seed=2,
+                      feature_dim=8, num_classes=4, edge_weighted=True)
+    return MultiGpuGraphStore(SimNode(), ds, seed=0)
+
+
+def test_edge_weights_partitioned_and_gatherable(weighted_store, rng):
+    store = weighted_store
+    assert store.edge_weight_tensor is not None
+    sampler = NeighborSampler(store, [4], charge=False)
+    sg = sampler.sample(store.train_nodes[:16], 0, rng)
+    blk = sg.blocks[0]
+    w = store.gather_edge_weights(blk.edge_positions, 0)
+    assert np.allclose(w, store.csr.edge_weights[blk.edge_positions])
+    assert np.all(w > 0)
+
+
+def test_edge_weights_follow_permutation(weighted_store):
+    """Permuted CSR carries each edge's weight with it."""
+    store = weighted_store
+    ds_graph = store.dataset.graph
+    # pick a stored node, map back, compare weight multisets per node
+    for stored in (0, 100, 1499):
+        orig = store.partition.to_original[stored]
+        s, e = store.csr.indptr[stored], store.csr.indptr[stored + 1]
+        so, eo = ds_graph.indptr[orig], ds_graph.indptr[orig + 1]
+        assert np.allclose(
+            np.sort(store.csr.edge_weights[s:e]),
+            np.sort(ds_graph.edge_weights[so:eo]),
+        )
+
+
+def test_weighted_spmm_through_sampled_block(weighted_store, rng):
+    store = weighted_store
+    sampler = NeighborSampler(store, [4], charge=False)
+    sg = sampler.sample(store.train_nodes[:8], 0, rng)
+    blk = sg.blocks[0]
+    w = store.gather_edge_weights(blk.edge_positions, 0)
+    x = Tensor(store.feature_tensor.gather_no_cost(sg.frontiers[1]),
+               requires_grad=True)
+    out = F.spmm_sum(blk.indptr, blk.indices, x, edge_weights=Tensor(w))
+    # reference
+    ref = np.zeros((blk.num_targets, 8), dtype=np.float32)
+    for t in range(blk.num_targets):
+        for e in range(blk.indptr[t], blk.indptr[t + 1]):
+            ref[t] += w[e] * x.data[blk.indices[e]]
+    assert np.allclose(out.data, ref, atol=1e-4)
+
+
+def test_unweighted_store_rejects_edge_gather(small_store):
+    with pytest.raises(RuntimeError):
+        small_store.gather_edge_weights(np.array([0]), 0)
+
+
+# -- link prediction pieces --------------------------------------------------------------
+
+def test_sort_rows_preserves_multiset(small_dataset):
+    g = small_dataset.graph
+    s = sort_rows(g)
+    assert np.array_equal(np.sort(g.indices), np.sort(s.indices))
+    for r in (0, 10, 500):
+        lo, hi = s.indptr[r], s.indptr[r + 1]
+        assert np.all(np.diff(s.indices[lo:hi]) >= 0)
+
+
+def test_edges_exist_matches_truth(small_dataset, rng):
+    g = sort_rows(small_dataset.graph)
+    # positives must exist
+    src, dst = sample_positive_edges(g, 200, rng)
+    assert edges_exist(g, src, dst).all()
+    # known non-edge: a node paired with itself is never an edge (self
+    # loops removed by the builder)
+    ids = rng.integers(0, g.num_nodes, size=100)
+    assert not edges_exist(g, ids, ids).any()
+
+
+def test_negative_edges_are_non_edges(small_dataset, rng):
+    g = small_dataset.graph
+    src, dst = sample_negative_edges(g, 300, rng)
+    assert not edges_exist(sort_rows(g), src, dst).any()
+    assert np.all(src != dst)
+
+
+def test_positive_edge_sampling_valid(small_dataset, rng):
+    g = small_dataset.graph
+    src, dst = sample_positive_edges(g, 100, rng)
+    for s, d in zip(src[:20], dst[:20]):
+        assert d in set(g.neighbors(s).tolist())
+
+
+def test_pairwise_dot_grad(rng):
+    h = rng.standard_normal((6, 4)).astype(np.float32)
+    left = np.array([0, 2, 2])
+    right = np.array([1, 3, 5])
+
+    def build(t):
+        return (F.pairwise_dot(t, left, right) ** 2.0).sum()
+
+    t = Tensor(h, requires_grad=True)
+    build(t).backward()
+    num = numeric_grad(lambda: float(build(Tensor(h)).data), h)
+    assert np.allclose(t.grad, num, atol=2e-2)
+
+
+def test_bce_with_logits_matches_manual(rng):
+    z = rng.standard_normal(50).astype(np.float32)
+    y = (rng.random(50) > 0.5).astype(np.float32)
+    loss = F.binary_cross_entropy_with_logits(Tensor(z), y)
+    p = 1 / (1 + np.exp(-z))
+    manual = -(y * np.log(p) + (1 - y) * np.log(1 - p)).mean()
+    assert float(loss.data) == pytest.approx(manual, abs=1e-5)
+
+
+def test_bce_grad(rng):
+    z = rng.standard_normal(20).astype(np.float32)
+    y = (rng.random(20) > 0.5).astype(np.float32)
+    t = Tensor(z, requires_grad=True)
+    F.binary_cross_entropy_with_logits(t, y).backward()
+    num = numeric_grad(
+        lambda: float(
+            F.binary_cross_entropy_with_logits(Tensor(z), y).data
+        ),
+        z,
+    )
+    assert np.allclose(t.grad, num, atol=1e-2)
+
+
+def test_sigmoid_values_and_grad(rng):
+    x = rng.standard_normal((4, 3)).astype(np.float32)
+    out = F.sigmoid(Tensor(x))
+    assert np.allclose(out.data, 1 / (1 + np.exp(-x)), atol=1e-5)
+    t = Tensor(x, requires_grad=True)
+    F.sigmoid(t).sum().backward()
+    num = numeric_grad(
+        lambda: float(F.sigmoid(Tensor(x)).sum().data), x
+    )
+    assert np.allclose(t.grad, num, atol=1e-2)
+
+
+def test_roc_auc_extremes():
+    assert roc_auc([0.1, 0.9], [0, 1]) == 1.0
+    assert roc_auc([0.9, 0.1], [0, 1]) == 0.0
+    assert roc_auc([0.5, 0.5], [0, 1]) == pytest.approx(0.5)
+    assert roc_auc([1.0], [1]) == 0.5  # degenerate: single class
+
+
+def test_roc_auc_matches_brute_force(rng):
+    scores = rng.random(60)
+    labels = rng.random(60) > 0.6
+    pos, neg = scores[labels], scores[~labels]
+    brute = np.mean([
+        1.0 if p > n else (0.5 if p == n else 0.0)
+        for p in pos for n in neg
+    ])
+    assert roc_auc(scores, labels) == pytest.approx(brute, abs=1e-9)
+
+
+# -- multi-node cluster training --------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def cluster_dataset():
+    return load_dataset("ogbn-products", num_nodes=1500, seed=9,
+                        feature_dim=8, num_classes=4)
+
+
+def test_cluster_replicas_stay_in_sync(cluster_dataset):
+    tr = ClusterTrainer(cluster_dataset, 2, "gcn", seed=0, batch_size=32,
+                        fanouts=[4], hidden=8, lr=0.02, dropout=0.0)
+    tr.train_epoch(max_iterations=2)
+    tr.assert_in_sync(atol=1e-4)
+
+
+def test_cluster_two_nodes_faster_than_one(cluster_dataset):
+    t1 = ClusterTrainer(cluster_dataset, 1, "gcn", seed=0, batch_size=32,
+                        fanouts=[4], hidden=8, lr=0.02, dropout=0.0)
+    t2 = ClusterTrainer(cluster_dataset, 2, "gcn", seed=0, batch_size=32,
+                        fanouts=[4], hidden=8, lr=0.02, dropout=0.0)
+    e1 = t1.train_epoch()["epoch_time"]
+    e2 = t2.train_epoch()["epoch_time"]
+    assert e2 < e1
+
+
+def test_cluster_training_converges(cluster_dataset):
+    tr = ClusterTrainer(cluster_dataset, 2, "graphsage", seed=0,
+                        batch_size=32, fanouts=[5, 5], hidden=16, lr=0.02,
+                        dropout=0.0)
+    for _ in range(6):
+        stats = tr.train_epoch()
+    assert tr.evaluate() > 0.8
+    assert stats["mean_loss"] < 1.0
+
+
+def test_cluster_rejects_zero_nodes(cluster_dataset):
+    with pytest.raises(ValueError):
+        ClusterTrainer(cluster_dataset, 0, "gcn")

@@ -1,0 +1,126 @@
+"""Batched small graphs, readout pooling and graph-level learning."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list
+from repro.graph.batch import (
+    batch_graphs,
+    generate_graph_classification_dataset,
+)
+from repro.nn import Adam, Linear, Module, Tensor
+from repro.nn import functional as F
+from repro.nn.layers import GINConv
+from repro.utils.rng import spawn_rng
+from tests.test_nn_tensor import numeric_grad
+
+
+def tiny_graphs():
+    g1 = from_edge_list([0, 1], [1, 2], 3, undirected=True, dedup=True)
+    g2 = from_edge_list([0], [1], 2, undirected=True, dedup=True)
+    return [g1, g2]
+
+
+def test_batch_is_block_diagonal():
+    b = batch_graphs(tiny_graphs())
+    assert b.num_graphs == 2
+    assert b.num_nodes == 5
+    assert b.graph_offsets.tolist() == [0, 3, 5]
+    assert b.graph_ids.tolist() == [0, 0, 0, 1, 1]
+    src, dst = b.csr.subgraph_edges()
+    # no edge crosses the graph boundary
+    assert np.all(b.graph_ids[src] == b.graph_ids[dst])
+    # member adjacency preserved under the offset
+    assert set(b.csr.neighbors(3).tolist()) == {4}
+    assert set(b.csr.neighbors(0).tolist()) == {1}
+
+
+def test_batch_edge_counts_add_up():
+    gs = tiny_graphs()
+    b = batch_graphs(gs)
+    assert b.csr.num_edges == sum(g.num_edges for g in gs)
+    b.csr.validate()
+
+
+def test_batch_rejects_empty_list():
+    with pytest.raises(ValueError):
+        batch_graphs([])
+
+
+def test_full_graph_block_identity_prefix():
+    b = batch_graphs(tiny_graphs())
+    block = b.full_graph_block()
+    assert block.num_targets == block.num_src == b.num_nodes
+    assert np.array_equal(
+        block.duplicate_counts, np.bincount(b.csr.indices, minlength=5)
+    )
+
+
+def test_readout_mean_and_sum_semantics(rng):
+    b = batch_graphs(tiny_graphs())
+    h = rng.standard_normal((5, 3)).astype(np.float32)
+    mean = F.graph_readout(Tensor(h), b.graph_offsets, "mean")
+    s = F.graph_readout(Tensor(h), b.graph_offsets, "sum")
+    assert np.allclose(mean.data[0], h[:3].mean(axis=0), atol=1e-6)
+    assert np.allclose(s.data[1], h[3:].sum(axis=0), atol=1e-6)
+    with pytest.raises(ValueError):
+        F.graph_readout(Tensor(h), b.graph_offsets, "median")
+
+
+@pytest.mark.parametrize("mode", ["mean", "sum"])
+def test_readout_grad(mode, rng):
+    b = batch_graphs(tiny_graphs())
+    h = rng.standard_normal((5, 3)).astype(np.float32)
+
+    def build(t):
+        return (F.graph_readout(t, b.graph_offsets, mode) ** 2.0).sum()
+
+    t = Tensor(h, requires_grad=True)
+    build(t).backward()
+    num = numeric_grad(lambda: float(build(Tensor(h)).data), h)
+    assert np.allclose(t.grad, num, atol=2e-2)
+
+
+def test_dataset_classes_structurally_distinct():
+    rng = spawn_rng(0, "gc")
+    graphs, feats, labels = generate_graph_classification_dataset(60, rng)
+    for g, y in zip(graphs, labels):
+        mean_deg = g.num_edges / g.num_nodes
+        if y == 0:
+            assert mean_deg == pytest.approx(2.0)  # rings
+        else:
+            assert mean_deg > 3.0  # dense
+
+
+def test_graph_classification_learns():
+    """End-to-end: GIN + readout separates rings from dense graphs using
+    pure-noise node features (structure is the only signal)."""
+    rng = spawn_rng(3, "gc-train")
+    graphs, feats, labels = generate_graph_classification_dataset(96, rng)
+
+    class Net(Module):
+        def __init__(self):
+            super().__init__()
+            self.conv = GINConv(8, 16, rng)
+            self.head = Linear(16, 2, rng)
+
+        def forward(self, batch, x):
+            h = F.relu(self.conv(batch.full_graph_block(), x))
+            return self.head(F.graph_readout(h, batch.graph_offsets))
+
+    model = Net()
+    opt = Adam(model.parameters(), lr=1e-2)
+    batch = batch_graphs(graphs)
+    x = Tensor(np.concatenate(feats))
+    first = None
+    for _ in range(40):
+        logits = model(batch, x)
+        loss = F.cross_entropy(logits, labels)
+        model.zero_grad()
+        loss.backward()
+        opt.step()
+        if first is None:
+            first = float(loss.data)
+    final_acc = float(np.mean(logits.data.argmax(-1) == labels))
+    assert float(loss.data) < first * 0.7
+    assert final_acc > 0.8

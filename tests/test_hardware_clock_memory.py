@@ -1,0 +1,84 @@
+"""Simulated clocks, timelines and the device-memory allocator."""
+
+import pytest
+
+from repro.hardware.clock import SimClock, Span, Timeline
+from repro.hardware.memory import DeviceMemory, OutOfDeviceMemory
+
+
+def test_clock_advances_and_records():
+    tl = Timeline()
+    c = SimClock("gpu0", tl)
+    c.advance(1.0, phase="sample")
+    c.advance(0.5, phase="train")
+    assert c.now == 1.5
+    assert tl.phase_total("sample") == 1.0
+    assert tl.phase_total("train") == 0.5
+
+
+def test_clock_rejects_negative_advance():
+    c = SimClock("gpu0")
+    with pytest.raises(ValueError):
+        c.advance(-1.0)
+
+
+def test_wait_until_records_non_busy_span():
+    tl = Timeline()
+    c = SimClock("gpu0", tl)
+    c.advance(1.0, phase="train")
+    c.wait_until(3.0)
+    spans = tl.device_spans("gpu0")
+    assert spans[-1].busy is False
+    assert spans[-1].duration == 2.0
+    # waiting for the past is a no-op
+    c.wait_until(1.0)
+    assert c.now == 3.0
+
+
+def test_phase_breakdown_filters_by_device():
+    tl = Timeline()
+    a, b = SimClock("gpu0", tl), SimClock("gpu1", tl)
+    a.advance(1.0, phase="x")
+    b.advance(2.0, phase="x")
+    assert tl.phase_total("x") == 3.0
+    assert tl.phase_total("x", device="gpu1") == 2.0
+    assert tl.phase_breakdown("gpu0") == {"x": 1.0}
+
+
+def test_span_duration():
+    assert Span("d", 1.0, 3.5, "p").duration == 2.5
+
+
+def test_memory_allocation_accounting():
+    mem = DeviceMemory("gpu0", capacity=1000)
+    a = mem.allocate(400, tag="graph")
+    b = mem.allocate(300, tag="feature")
+    assert mem.used == 700
+    assert mem.free_bytes == 300
+    assert mem.usage_by_tag() == {"graph": 400, "feature": 300}
+    mem.free(a)
+    assert mem.used == 300
+    assert mem.peak == 700  # high-water mark survives frees
+    mem.free(b)
+    assert mem.usage_by_tag() == {}
+
+
+def test_memory_overflow_raises():
+    mem = DeviceMemory("gpu0", capacity=100)
+    mem.allocate(80)
+    with pytest.raises(OutOfDeviceMemory):
+        mem.allocate(21)
+
+
+def test_memory_double_free_raises():
+    mem = DeviceMemory("gpu0", capacity=100)
+    a = mem.allocate(10)
+    mem.free(a)
+    with pytest.raises(KeyError):
+        mem.free(a)
+
+
+def test_memory_negative_allocation_rejected():
+    mem = DeviceMemory("gpu0", capacity=100)
+    with pytest.raises(ValueError):
+        mem.allocate(-1)

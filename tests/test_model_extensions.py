@@ -1,0 +1,118 @@
+"""GIN layer, SAGE max-pool aggregator, and spmm_max gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import EXTENDED_MODEL_NAMES, Adam, Tensor, build_model
+from repro.nn import functional as F
+from repro.nn.layers import GINConv
+from repro.nn.layers.sage import SAGEConv
+from repro.ops.neighbor_sampler import LayerBlock, NeighborSampler
+from tests.test_nn_tensor import numeric_grad
+
+
+@pytest.fixture
+def block(rng):
+    counts = rng.integers(1, 4, size=3)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    indices = rng.integers(0, 7, size=indptr[-1])
+    return LayerBlock(
+        indptr=indptr, indices=indices, num_targets=3, num_src=7,
+        duplicate_counts=np.bincount(indices, minlength=7),
+    )
+
+
+def test_spmm_max_forward_semantics(block, rng):
+    x = rng.standard_normal((7, 4)).astype(np.float32)
+    out = F.spmm_max(block.indptr, block.indices, Tensor(x))
+    for t in range(3):
+        nbrs = block.indices[block.indptr[t]:block.indptr[t + 1]]
+        assert np.allclose(out.data[t], x[nbrs].max(axis=0), atol=1e-6)
+
+
+def test_spmm_max_grad(block, rng):
+    x = rng.standard_normal((7, 4)).astype(np.float32)
+
+    def build(t):
+        return (F.spmm_max(block.indptr, block.indices, t) ** 2.0).sum()
+
+    t = Tensor(x, requires_grad=True)
+    build(t).backward()
+    num = numeric_grad(lambda: float(build(Tensor(x)).data), x)
+    assert np.allclose(t.grad, num, atol=2e-2)
+
+
+def test_spmm_max_tie_splitting():
+    """Tied maxima split the gradient evenly (documented subgradient)."""
+    indptr = np.array([0, 2])
+    indices = np.array([0, 1])
+    x = Tensor(np.array([[3.0], [3.0], [0.0]], dtype=np.float32),
+               requires_grad=True)
+    F.spmm_max(indptr, indices, x).sum().backward()
+    assert np.allclose(x.grad.ravel(), [0.5, 0.5, 0.0])
+
+
+def test_sage_max_aggregator_semantics(block, rng):
+    conv = SAGEConv(4, 5, rng, aggregator="max")
+    x = rng.standard_normal((7, 4)).astype(np.float32)
+    out = conv(block, Tensor(x))
+    for t in range(3):
+        nbrs = block.indices[block.indptr[t]:block.indptr[t + 1]]
+        expected = (
+            x[t] @ conv.linear_self.weight.data + conv.linear_self.bias.data
+            + x[nbrs].max(axis=0) @ conv.linear_neigh.weight.data
+        )
+        assert np.allclose(out.data[t], expected, atol=1e-4)
+
+
+def test_sage_aggregator_validation(rng):
+    with pytest.raises(ValueError):
+        SAGEConv(4, 4, rng, aggregator="median")
+
+
+def test_gin_conv_semantics(block, rng):
+    conv = GINConv(4, 5, rng, init_eps=0.5)
+    x = rng.standard_normal((7, 4)).astype(np.float32)
+    out = conv(block, Tensor(x))
+    for t in range(3):
+        nbrs = block.indices[block.indptr[t]:block.indptr[t + 1]]
+        combined = 1.5 * x[t] + x[nbrs].sum(axis=0)
+        hidden = np.maximum(
+            combined @ conv.mlp_in.weight.data + conv.mlp_in.bias.data, 0
+        )
+        expected = hidden @ conv.mlp_out.weight.data + conv.mlp_out.bias.data
+        assert np.allclose(out.data[t], expected, atol=1e-4)
+
+
+def test_gin_eps_is_trainable(block, rng):
+    conv = GINConv(4, 4, rng)
+    x = Tensor(rng.standard_normal((7, 4)).astype(np.float32))
+    (conv(block, x) ** 2.0).sum().backward()
+    assert conv.eps.grad is not None
+    assert abs(float(conv.eps.grad[0])) > 0
+
+
+def test_gin_model_trains(small_store, rng):
+    sampler = NeighborSampler(small_store, [5, 5], charge=False)
+    model = build_model("gin", small_store.feature_dim,
+                        small_store.num_classes, rng, hidden=16,
+                        num_layers=2, dropout=0.0)
+    opt = Adam(model.parameters(), lr=0.02)
+    losses = []
+    for _ in range(25):
+        seeds = rng.choice(small_store.train_nodes, size=32, replace=False)
+        sg = sampler.sample(seeds, 0, rng)
+        x = Tensor(small_store.feature_tensor.gather_no_cost(sg.input_nodes))
+        loss = F.cross_entropy(model(sg, x, rng),
+                               small_store.labels[seeds])
+        model.zero_grad()
+        loss.backward()
+        opt.step()
+        losses.append(float(loss.data))
+    assert np.mean(losses[-5:]) < losses[0] * 0.5
+
+
+def test_extended_registry():
+    assert "gin" in EXTENDED_MODEL_NAMES
+    with pytest.raises(ValueError):
+        build_model("gat2", 4, 2, np.random.default_rng(0))

@@ -1,0 +1,178 @@
+"""Functional ops: activations, losses and the graph autograd ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.test_nn_tensor import numeric_grad
+
+
+def grad_close(build, x, atol=2e-2):
+    t = Tensor(x, requires_grad=True)
+    build(t).backward()
+    num = numeric_grad(lambda: float(build(Tensor(x)).data), x)
+    assert np.allclose(t.grad, num, atol=atol), np.abs(t.grad - num).max()
+
+
+@pytest.fixture
+def x(rng):
+    return rng.standard_normal((5, 4)).astype(np.float32) + 0.05
+
+
+def test_relu_leaky_elu_grads(x):
+    grad_close(lambda t: F.relu(t).sum(), x)
+    grad_close(lambda t: F.leaky_relu(t, 0.1).sum(), x)
+    grad_close(lambda t: F.elu(t).sum(), x)
+
+
+def test_relu_forward_values():
+    out = F.relu(Tensor([[-1.0, 2.0]]))
+    assert out.data.tolist() == [[0.0, 2.0]]
+    out = F.leaky_relu(Tensor([[-1.0, 2.0]]), 0.2)
+    assert np.allclose(out.data, [[-0.2, 2.0]])
+
+
+def test_dropout_train_vs_eval(x, rng):
+    t = Tensor(x)
+    assert F.dropout(t, 0.5, rng, training=False) is t
+    out = F.dropout(t, 0.5, rng, training=True)
+    kept = out.data != 0
+    # inverted dropout rescales survivors
+    assert np.allclose(out.data[kept], x[kept] * 2.0, atol=1e-5)
+
+
+def test_log_softmax_rows_normalised(x):
+    out = F.log_softmax(Tensor(x))
+    assert np.allclose(np.exp(out.data).sum(axis=-1), 1.0, atol=1e-5)
+
+
+def test_cross_entropy_matches_manual(x):
+    labels = np.array([0, 1, 2, 3, 0])
+    loss = F.cross_entropy(Tensor(x), labels)
+    logp = F.log_softmax(Tensor(x)).data
+    manual = -logp[np.arange(5), labels].mean()
+    assert float(loss.data) == pytest.approx(manual, abs=1e-6)
+
+
+def test_cross_entropy_grad(x):
+    labels = np.array([0, 1, 2, 3, 0])
+    grad_close(lambda t: F.cross_entropy(t, labels), x, atol=5e-3)
+
+
+def test_gather_and_slice_rows_grads(x):
+    rows = np.array([0, 2, 2, 4])
+    grad_close(lambda t: (F.gather_rows(t, rows) ** 2.0).sum(), x)
+    grad_close(lambda t: (F.slice_rows(t, 3) * 3.0).sum(), x)
+
+
+def test_slice_rows_is_prefix(x):
+    out = F.slice_rows(Tensor(x), 2)
+    assert np.array_equal(out.data, x[:2])
+
+
+@pytest.fixture
+def csr():
+    indptr = np.array([0, 2, 5])
+    indices = np.array([1, 2, 0, 3, 4])
+    return indptr, indices
+
+
+def test_spmm_sum_grad(csr, x):
+    indptr, indices = csr
+    grad_close(
+        lambda t: (F.spmm_sum(indptr, indices, t) ** 2.0).sum(), x
+    )
+
+
+def test_spmm_sum_weighted_grads(csr, x, rng):
+    indptr, indices = csr
+    w = rng.standard_normal(5).astype(np.float32)
+    grad_close(
+        lambda t: (
+            F.spmm_sum(indptr, indices, t, edge_weights=Tensor(w)) ** 2.0
+        ).sum(),
+        x,
+    )
+    # gradient w.r.t. weights is the g-SDDMM
+    wt = Tensor(w, requires_grad=True)
+    xs = Tensor(x)
+    (F.spmm_sum(indptr, indices, xs, edge_weights=wt) ** 2.0).sum().backward()
+    num = numeric_grad(
+        lambda: float(
+            (F.spmm_sum(indptr, indices, xs, edge_weights=Tensor(w)) ** 2.0)
+            .sum().data
+        ),
+        w,
+    )
+    assert np.allclose(wt.grad, num, atol=2e-2)
+
+
+def test_spmm_mean_grad(csr, x):
+    indptr, indices = csr
+    grad_close(
+        lambda t: (F.spmm_mean(indptr, indices, t) ** 2.0).sum(), x
+    )
+
+
+def test_spmm_dup_counts_do_not_change_grad(csr, x):
+    indptr, indices = csr
+    dup = np.bincount(indices, minlength=5)
+    a = Tensor(x, requires_grad=True)
+    (F.spmm_sum(indptr, indices, a) ** 2.0).sum().backward()
+    b = Tensor(x, requires_grad=True)
+    (F.spmm_sum(indptr, indices, b, duplicate_counts=dup) ** 2.0).sum().backward()
+    assert np.allclose(a.grad, b.grad, atol=1e-5)
+
+
+def test_edge_softmax_grad(csr, rng):
+    indptr, indices = csr
+    logits = rng.standard_normal((5, 2)).astype(np.float32)
+    grad_close(
+        lambda t: (F.edge_softmax(indptr, t) ** 2.0).sum(), logits
+    )
+
+
+def test_edge_softmax_normalised_per_target(csr, rng):
+    indptr, _ = csr
+    alpha = F.edge_softmax(indptr, Tensor(rng.standard_normal((5, 3))))
+    assert np.allclose(alpha.data[0:2].sum(axis=0), 1.0, atol=1e-5)
+    assert np.allclose(alpha.data[2:5].sum(axis=0), 1.0, atol=1e-5)
+
+
+def test_edge_gather_add_grads(csr, rng):
+    indptr, indices = csr
+    dst = rng.standard_normal((5, 2)).astype(np.float32)  # >2 rows: prefix
+    src = rng.standard_normal((5, 2)).astype(np.float32)
+    grad_close(
+        lambda t: (
+            F.edge_gather_add(indptr, indices, t, Tensor(src)) ** 2.0
+        ).sum(),
+        dst,
+    )
+    grad_close(
+        lambda t: (
+            F.edge_gather_add(indptr, indices, Tensor(dst), t) ** 2.0
+        ).sum(),
+        src,
+    )
+
+
+def test_edge_mul_gather_grads(csr, rng):
+    indptr, indices = csr
+    alpha = rng.random((5, 2)).astype(np.float32)
+    feat = rng.standard_normal((5, 2, 3)).astype(np.float32)
+    grad_close(
+        lambda t: (F.edge_mul_gather(indices, t, Tensor(feat)) ** 2.0).sum(),
+        alpha,
+    )
+    grad_close(
+        lambda t: (F.edge_mul_gather(indices, Tensor(alpha), t) ** 2.0).sum(),
+        feat,
+    )
+
+
+def test_segment_sum_op_grad(csr, rng):
+    indptr, _ = csr
+    vals = rng.standard_normal((5, 2)).astype(np.float32)
+    grad_close(lambda t: (F.segment_sum(indptr, t) ** 2.0).sum(), vals)

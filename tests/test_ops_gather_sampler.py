@@ -1,0 +1,166 @@
+"""Global gather implementations and the multi-layer neighbor sampler."""
+
+import numpy as np
+import pytest
+
+from repro.dsm.comm import Communicator
+from repro.dsm.whole_tensor import WholeTensor
+from repro.hardware import SimNode
+from repro.ops.gather import distributed_memory_gather, shared_memory_gather
+from repro.ops.neighbor_sampler import NeighborSampler, sample_layer
+
+
+@pytest.fixture
+def tensor_setup(rng):
+    node = SimNode()
+    t = WholeTensor(node, 1000, 8, tag="f", charge_setup=False)
+    host = rng.standard_normal((1000, 8)).astype(np.float32)
+    t.load_from_host(host)
+    per_rank = [rng.integers(0, 1000, size=64) for _ in range(8)]
+    return node, t, host, per_rank
+
+
+def test_both_gathers_functionally_identical(tensor_setup):
+    node, t, host, per_rank = tensor_setup
+    shared, _ = shared_memory_gather(t, per_rank)
+    dist, _ = distributed_memory_gather(t, per_rank, Communicator(node))
+    for s, d, rows in zip(shared, dist, per_rank):
+        assert np.array_equal(s, host[rows])
+        assert np.array_equal(d, host[rows])
+
+
+def test_distributed_gather_has_five_steps(tensor_setup):
+    node, t, _, per_rank = tensor_setup
+    _, trace = distributed_memory_gather(t, per_rank, Communicator(node))
+    assert set(trace.step_times) == {
+        "bucket_ids", "alltoallv_ids", "local_gather",
+        "alltoallv_features", "reorder",
+    }
+    assert all(v > 0 for v in trace.step_times.values())
+    assert trace.total_time == pytest.approx(sum(trace.step_times.values()),
+                                             rel=1e-6)
+
+
+def test_shared_gather_faster_than_distributed(tensor_setup):
+    """The Fig. 10 headline: one kernel beats five software steps."""
+    node, t, _, per_rank = tensor_setup
+    _, t_shared = shared_memory_gather(t, per_rank)
+    _, trace = distributed_memory_gather(t, per_rank, Communicator(node))
+    assert trace.total_time > 2.0 * t_shared
+
+
+def test_gather_wrong_rank_count_rejected(tensor_setup):
+    node, t, _, _ = tensor_setup
+    with pytest.raises(ValueError):
+        distributed_memory_gather(t, [np.array([0])], Communicator(node))
+
+
+def test_gather_empty_requests(tensor_setup):
+    node, t, host, _ = tensor_setup
+    empty = [np.array([], dtype=np.int64) for _ in range(8)]
+    shared, _ = shared_memory_gather(t, empty)
+    dist, _ = distributed_memory_gather(t, empty, Communicator(node))
+    assert all(s.shape == (0, 8) for s in shared)
+    assert all(d.shape == (0, 8) for d in dist)
+
+
+# -- sample_layer -----------------------------------------------------------------
+
+def test_sample_layer_counts_and_membership(rng):
+    indptr = np.array([0, 3, 3, 10, 12])
+    indices = np.arange(12) % 5
+    targets = np.array([0, 1, 2, 3])
+    flat, counts, positions = sample_layer(indptr, indices, targets, fanout=4, rng=rng)
+    assert counts.tolist() == [3, 0, 4, 2]
+    assert flat.shape[0] == 9
+    # each target's slice contains only its own neighbors
+    off = 0
+    for t, c in zip(targets, counts):
+        nbrs = set(indices[indptr[t]:indptr[t + 1]].tolist())
+        assert set(flat[off:off + c].tolist()) <= nbrs
+        off += c
+
+
+def test_sample_layer_edge_positions_consistent(rng):
+    indptr = np.array([0, 3, 3, 10, 12])
+    indices = np.arange(12) % 5
+    targets = np.array([0, 2, 3])
+    flat, counts, positions = sample_layer(indptr, indices, targets, 4, rng)
+    # the edge-position handle dereferences back to the sampled neighbor
+    assert np.array_equal(indices[positions], flat)
+    # and each position lies inside its target's CSR row
+    off = 0
+    for t_, c in zip(targets, counts):
+        seg = positions[off:off + c]
+        assert np.all(seg >= indptr[t_]) and np.all(seg < indptr[t_ + 1])
+        off += c
+
+
+def test_sample_layer_without_replacement(rng):
+    indptr = np.array([0, 50])
+    indices = np.arange(50)
+    flat, counts, positions = sample_layer(indptr, indices, np.array([0]), 20, rng)
+    assert counts[0] == 20
+    assert len(set(flat.tolist())) == 20
+
+
+def test_sample_layer_take_all_is_exact(rng):
+    indptr = np.array([0, 5])
+    indices = np.array([9, 8, 7, 6, 5])
+    flat, counts, positions = sample_layer(indptr, indices, np.array([0]), 30, rng)
+    assert sorted(flat.tolist()) == [5, 6, 7, 8, 9]
+
+
+# -- NeighborSampler over the store ---------------------------------------------------
+
+def test_sampler_prefix_property(small_store, rng):
+    sampler = NeighborSampler(small_store, [4, 4, 4], charge=False)
+    sg = sampler.sample(small_store.train_nodes[:32], 0, rng)
+    sg.validate_prefix_property()
+    assert sg.num_layers == 3
+    assert len(sg.frontiers) == 4
+
+
+def test_sampler_blocks_reference_real_edges(small_store, rng):
+    sampler = NeighborSampler(small_store, [5, 5], charge=False)
+    sg = sampler.sample(small_store.train_nodes[:16], 0, rng)
+    for level, blk in enumerate(sg.blocks):
+        tgt, src = sg.frontiers[level], sg.frontiers[level + 1]
+        for i in range(blk.num_targets):
+            nbrs = set(small_store.csr.neighbors(tgt[i]).tolist())
+            for e in range(blk.indptr[i], blk.indptr[i + 1]):
+                assert src[blk.indices[e]] in nbrs
+
+
+def test_sampler_fanout_respected(small_store, rng):
+    sampler = NeighborSampler(small_store, [3], charge=False)
+    sg = sampler.sample(small_store.train_nodes[:64], 0, rng)
+    blk = sg.blocks[0]
+    counts = np.diff(blk.indptr)
+    degrees = small_store.degree(sg.frontiers[0])
+    assert np.array_equal(counts, np.minimum(degrees, 3))
+
+
+def test_sampler_duplicate_counts_match_block(small_store, rng):
+    sampler = NeighborSampler(small_store, [6], charge=False)
+    sg = sampler.sample(small_store.train_nodes[:32], 0, rng)
+    blk = sg.blocks[0]
+    ref = np.bincount(blk.indices, minlength=blk.num_src)
+    assert np.array_equal(blk.duplicate_counts, ref)
+
+
+def test_sampler_charges_sample_phase(small_store, rng):
+    node = small_store.node
+    node.reset_clocks()
+    sampler = NeighborSampler(small_store, [4, 4])
+    sampler.sample(small_store.train_nodes[:16], rank=3, rng=rng)
+    assert node.timeline.phase_total("sample", node.gpu_memory[3].device) > 0
+    assert node.timeline.phase_total("sample", node.gpu_memory[0].device) == 0
+
+
+def test_sampler_deterministic_per_rng(small_store):
+    sampler = NeighborSampler(small_store, [4, 4], charge=False)
+    a = sampler.sample(small_store.train_nodes[:8], 0, np.random.default_rng(5))
+    b = sampler.sample(small_store.train_nodes[:8], 0, np.random.default_rng(5))
+    for fa, fb in zip(a.frontiers, b.frontiers):
+        assert np.array_equal(fa, fb)

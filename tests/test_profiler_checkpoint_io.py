@@ -1,0 +1,188 @@
+"""Phase profiler, checkpointing, dataset IO, and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.graph import MultiGpuGraphStore, load_dataset
+from repro.graph.io import load_saved_dataset, save_dataset
+from repro.hardware import SimNode
+from repro.nn import Adam, Linear, SGD, build_model
+from repro.nn.lr_scheduler import CosineAnnealingLR, LinearWarmup, StepLR
+from repro.telemetry.profiler import PhaseProfiler
+from repro.train import WholeGraphTrainer
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+
+
+# -- profiler -------------------------------------------------------------------------
+
+def test_profiler_captures_only_its_region(small_dataset):
+    node = SimNode()
+    store = MultiGpuGraphStore(node, small_dataset, seed=0)
+    tr = WholeGraphTrainer(store, "gcn", seed=0, batch_size=32,
+                           fanouts=[5], hidden=8, dropout=0.0)
+    tr.train_epoch(max_iterations=1)  # outside the profiled region
+    with PhaseProfiler(node) as prof:
+        tr.train_epoch(max_iterations=2)
+    totals = prof.phase_totals(node.gpu_memory[0].device)
+    assert totals["sample"] > 0 and totals["train"] > 0
+    assert prof.elapsed() > 0
+    # region total matches the clock delta of gpu0
+    dev = node.gpu_memory[0].device
+    assert sum(totals.values()) == pytest.approx(prof.elapsed(dev), rel=0.01)
+
+
+def test_profiler_report_sorted_by_time(small_dataset):
+    node = SimNode()
+    store = MultiGpuGraphStore(node, small_dataset, seed=0)
+    tr = WholeGraphTrainer(store, "gcn", seed=0, batch_size=32,
+                           fanouts=[5], hidden=8, dropout=0.0)
+    with PhaseProfiler(node) as prof:
+        tr.train_epoch(max_iterations=1)
+    text = prof.report(node.gpu_memory[0].device)
+    assert "Phase profile" in text
+    assert "sample" in text and "train" in text
+
+
+def test_profiler_empty_region():
+    node = SimNode()
+    with PhaseProfiler(node) as prof:
+        pass
+    assert prof.summaries == []
+    assert prof.elapsed() == 0.0
+
+
+# -- checkpointing -------------------------------------------------------------------------
+
+def test_checkpoint_roundtrip_adam(tmp_path, rng):
+    model = build_model("gcn", 8, 3, rng, hidden=8, num_layers=2)
+    opt = Adam(model.parameters(), lr=0.01)
+    # take a step so optimizer state is non-trivial
+    for p in model.parameters():
+        p.grad = np.ones_like(p.data)
+    opt.step()
+    path = tmp_path / "ck.npz"
+    save_checkpoint(path, model, opt, epoch=7, extra={"best_acc": 0.9})
+
+    model2 = build_model("gcn", 8, 3, np.random.default_rng(99), hidden=8,
+                         num_layers=2)
+    opt2 = Adam(model2.parameters(), lr=0.01)
+    meta = load_checkpoint(path, model2, opt2)
+    assert meta["epoch"] == 7
+    assert float(meta["extra"]["best_acc"]) == pytest.approx(0.9)
+    for a, b in zip(model.parameters(), model2.parameters()):
+        assert np.array_equal(a.data, b.data)
+    assert opt2.t == opt.t
+    for m1, m2 in zip(opt._m, opt2._m):
+        assert np.array_equal(m1, m2)
+
+
+def test_checkpoint_resume_training_identical(tmp_path, rng):
+    """Save -> load -> continue must equal uninterrupted training."""
+    def make():
+        m = build_model("gcn", 4, 2, np.random.default_rng(0), hidden=4,
+                        num_layers=1, dropout=0.0)
+        return m, Adam(m.parameters(), lr=0.05)
+
+    def fake_step(model, opt, value):
+        for p in model.parameters():
+            p.grad = np.full_like(p.data, value)
+        opt.step()
+
+    m1, o1 = make()
+    fake_step(m1, o1, 0.5)
+    path = tmp_path / "mid.npz"
+    save_checkpoint(path, m1, o1)
+    fake_step(m1, o1, -0.25)
+    uninterrupted = m1.state_dict()
+
+    m2, o2 = make()
+    load_checkpoint(path, m2, o2)
+    fake_step(m2, o2, -0.25)
+    for a, b in zip(uninterrupted, m2.state_dict()):
+        assert np.allclose(a, b, atol=1e-7)
+
+
+def test_checkpoint_optimizer_kind_mismatch(tmp_path, rng):
+    model = build_model("gcn", 4, 2, rng, hidden=4, num_layers=1)
+    opt = Adam(model.parameters())
+    path = tmp_path / "ck.npz"
+    save_checkpoint(path, model, opt)
+    with pytest.raises(ValueError, match="Adam"):
+        load_checkpoint(path, model, SGD(model.parameters()))
+
+
+def test_checkpoint_shape_mismatch(tmp_path, rng):
+    model = build_model("gcn", 4, 2, rng, hidden=4, num_layers=1)
+    opt = Adam(model.parameters())
+    path = tmp_path / "ck.npz"
+    save_checkpoint(path, model, opt)
+    other = build_model("gcn", 6, 2, rng, hidden=4, num_layers=1)
+    with pytest.raises(ValueError, match="shape"):
+        load_checkpoint(path, other, Adam(other.parameters()))
+
+
+# -- dataset IO -------------------------------------------------------------------------
+
+def test_dataset_roundtrip(tmp_path):
+    ds = load_dataset("ogbn-products", num_nodes=800, seed=3,
+                      feature_dim=8, num_classes=4, edge_weighted=True)
+    path = tmp_path / "ds.npz"
+    save_dataset(path, ds)
+    back = load_saved_dataset(path)
+    assert back.spec.name == ds.spec.name
+    assert np.array_equal(back.graph.indptr, ds.graph.indptr)
+    assert np.array_equal(back.graph.indices, ds.graph.indices)
+    assert np.array_equal(back.graph.edge_weights, ds.graph.edge_weights)
+    assert np.array_equal(back.features, ds.features)
+    assert np.array_equal(back.labels, ds.labels)
+    assert np.array_equal(back.train_nodes, ds.train_nodes)
+    assert back.num_classes == ds.num_classes
+
+
+def test_dataset_roundtrip_without_weights(tmp_path, small_dataset):
+    path = tmp_path / "ds.npz"
+    save_dataset(path, small_dataset)
+    back = load_saved_dataset(path)
+    assert back.graph.edge_weights is None
+    # a store built from the reloaded dataset behaves identically
+    s1 = MultiGpuGraphStore(SimNode(), small_dataset, seed=0)
+    s2 = MultiGpuGraphStore(SimNode(), back, seed=0)
+    assert np.array_equal(s1.csr.indices, s2.csr.indices)
+
+
+# -- LR schedules -------------------------------------------------------------------------
+
+def test_step_lr_decays(rng):
+    opt = SGD(Linear(2, 2, rng).parameters(), lr=1.0)
+    sched = StepLR(opt, step_size=3, gamma=0.1)
+    lrs = [sched.step() for _ in range(7)]
+    assert lrs[0] == 1.0 and lrs[2] == pytest.approx(0.1)
+    assert lrs[5] == pytest.approx(0.01)
+    assert opt.lr == lrs[-1]
+
+
+def test_cosine_lr_endpoints(rng):
+    opt = SGD(Linear(2, 2, rng).parameters(), lr=2.0)
+    sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.2)
+    lrs = [sched.step() for _ in range(12)]
+    assert lrs[0] < 2.0  # decaying from step 1
+    assert lrs[9] == pytest.approx(0.2)
+    assert lrs[11] == pytest.approx(0.2)  # clamps past t_max
+    assert all(b <= a + 1e-9 for a, b in zip(lrs, lrs[1:]))
+
+
+def test_warmup_ramps_then_holds(rng):
+    opt = SGD(Linear(2, 2, rng).parameters(), lr=1.0)
+    sched = LinearWarmup(opt, warmup_steps=4)
+    lrs = [sched.step() for _ in range(6)]
+    assert lrs == pytest.approx([0.25, 0.5, 0.75, 1.0, 1.0, 1.0])
+
+
+def test_scheduler_validation(rng):
+    opt = SGD(Linear(2, 2, rng).parameters(), lr=1.0)
+    with pytest.raises(ValueError):
+        StepLR(opt, step_size=0)
+    with pytest.raises(ValueError):
+        CosineAnnealingLR(opt, t_max=0)
+    with pytest.raises(ValueError):
+        LinearWarmup(opt, warmup_steps=0)

@@ -1,0 +1,38 @@
+"""The CLI experiment runner."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+def test_list_knows_every_experiment(capsys):
+    assert runner.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "table5", "fig8", "fig13", "ablations"):
+        assert name in out
+
+
+def test_registry_covers_all_paper_artifacts():
+    # 5 tables + 7 figures + ablations
+    assert len(runner.EXPERIMENTS) == 13
+    for name, (module, _) in runner.EXPERIMENTS.items():
+        assert hasattr(module, "run")
+        assert hasattr(module, "report")
+        assert hasattr(module, "check_shape")
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        runner.main(["table99"])
+
+
+def test_no_args_is_an_error():
+    with pytest.raises(SystemExit):
+        runner.main([])
+
+
+def test_runs_a_fast_experiment(capsys):
+    assert runner.main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "Table IV" in out
+    assert "shape check passed" in out

@@ -1,0 +1,108 @@
+"""Telemetry (utilization, bandwidth, tables) and multi-node scaling."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MultiNodeCluster, scaling_curve
+from repro.hardware.clock import SimClock, Timeline
+from repro.telemetry.bandwidth import algo_bw, bus_bw, bw_from_gather_stats
+from repro.telemetry.report import format_table
+from repro.telemetry.utilization import mean_utilization, utilization_trace
+
+
+def busy_idle_timeline():
+    tl = Timeline()
+    c = SimClock("gpu0", tl)
+    for _ in range(5):
+        c.advance(1.0, phase="train")  # busy 1s
+        c.wait_until(c.now + 1.0)  # idle 1s
+    return tl
+
+
+def test_mean_utilization_fifty_percent():
+    tl = busy_idle_timeline()
+    assert mean_utilization(tl, "gpu0", t_end=10.0) == pytest.approx(50.0)
+
+
+def test_utilization_trace_alternates():
+    tl = busy_idle_timeline()
+    t, u = utilization_trace(tl, "gpu0", window=1.0, t_end=10.0)
+    assert u.shape[0] == 10
+    assert np.allclose(u[::2], 100.0)
+    assert np.allclose(u[1::2], 0.0)
+
+
+def test_utilization_trace_partial_window_overlap():
+    tl = Timeline()
+    c = SimClock("gpu0", tl)
+    c.advance(0.5, phase="k")
+    t, u = utilization_trace(tl, "gpu0", window=1.0, t_end=1.0)
+    assert u[0] == pytest.approx(50.0)
+
+
+def test_fully_busy_device_hits_100():
+    tl = Timeline()
+    c = SimClock("gpu0", tl)
+    c.advance(10.0, phase="train")
+    assert mean_utilization(tl, "gpu0", t_end=10.0) == pytest.approx(100.0)
+
+
+def test_empty_timeline_zero_utilization():
+    assert mean_utilization(Timeline(), "gpu0", t_end=1.0) == 0.0
+
+
+def test_bandwidth_helpers():
+    assert algo_bw(100.0, 2.0) == 50.0
+    assert algo_bw(100.0, 0.0) == 0.0
+    assert bus_bw(800.0, 1.0, 8) == pytest.approx(700.0)
+    assert bus_bw(800.0, 1.0, 1) == 0.0
+    out = bw_from_gather_stats(
+        {"gather_time": 1.0, "gather_bytes": 80, "gather_remote_bytes": 70},
+        8,
+    )
+    assert out["algo_bw"] == 80 and out["bus_bw"] == 70
+
+
+def test_format_table_alignment():
+    s = format_table(["a", "bb"], [[1, 2.5], ["xx", 0.001]], title="T")
+    lines = s.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len({len(l) for l in lines[2:]}) <= 2  # aligned rows
+
+
+# -- multi-node scaling ------------------------------------------------------------
+
+def test_scaling_curve_near_linear():
+    pts = scaling_curve(
+        single_node_iter_time=2e-3,
+        iterations_per_epoch=2000,
+        grad_nbytes=2 * 1024 * 1024,
+        node_counts=(1, 2, 4, 8),
+    )
+    assert [p.num_nodes for p in pts] == [1, 2, 4, 8]
+    assert pts[0].speedup == pytest.approx(1.0)
+    assert pts[-1].speedup > 7.0  # near-linear at 8 nodes (Fig. 13)
+    assert all(b.speedup > a.speedup for a, b in zip(pts, pts[1:]))
+    assert all(0 < p.efficiency <= 1.001 for p in pts)
+
+
+def test_scaling_degrades_with_huge_gradients():
+    """Communication-bound regime: scaling efficiency must drop."""
+    small = scaling_curve(1e-3, 1000, 1 * 1024 * 1024)[-1]
+    huge = scaling_curve(1e-3, 1000, 4 * 1024**3)[-1]
+    assert huge.speedup < small.speedup
+
+
+def test_allreduce_delta_zero_for_single_node():
+    cluster = MultiNodeCluster()
+    assert cluster.allreduce_delta(10**6, 1) == 0.0
+    assert cluster.allreduce_delta(10**6, 4) > 0
+
+
+def test_epoch_time_divides_iterations():
+    cluster = MultiNodeCluster()
+    t1 = cluster.epoch_time(1e-3, 800, 10**6, 1)
+    t8 = cluster.epoch_time(1e-3, 800, 10**6, 8)
+    assert t1 == pytest.approx(0.8)
+    assert t8 < t1 / 6
