@@ -2,14 +2,20 @@
 
 Covers the DESIGN.md ablation row: hash-table vs sort-based AppendUnique
 (§III-C2), duplicate-count atomic elision in the g-SpMM backward (§III-C4),
-and GPUDirect-P2P vs Unified-Memory storage (§II-B / Table I).
+GPUDirect-P2P vs Unified-Memory storage (§II-B / Table I), the hot-row
+feature cache, and the pipelined-prefetch iteration schedule — plus the
+cache-ratio sweep appended to the same report.
 """
 
-from repro.experiments import ablations
 from benchmarks.conftest import run_once
+from repro.experiments import ablations
 
 
 def test_ablations(benchmark, emit):
     results = run_once(benchmark, ablations.run, num_nodes=20_000)
-    emit("ablations", ablations.report(results))
+    sweep = ablations.cache_sweep(num_nodes=20_000)
+    emit(
+        "ablations",
+        ablations.report(results) + "\n\n" + ablations.sweep_report(sweep),
+    )
     ablations.check_shape(results)

@@ -24,8 +24,12 @@ from repro.hardware import SimNode, costmodel
 from repro.nn.models import build_model
 from repro.nn.optim import Adam
 from repro.ops.neighbor_sampler import NeighborSampler
-from repro.train.ddp import charge_allreduce
-from repro.train.pipeline import run_iteration
+from repro.train.ddp import allreduce_cost, charge_allreduce
+from repro.train.pipeline import (
+    PipelinedExecutor,
+    run_iteration,
+    train_batch,
+)
 from repro.utils.rng import RngPool, spawn_rng
 
 
@@ -44,7 +48,12 @@ class ClusterTrainer:
         num_layers: int = config.NUM_LAYERS,
         lr: float = 3e-3,
         dropout: float = 0.5,
+        overlap: bool = False,
     ):
+        """``overlap=True`` selects the double-buffered schedule on every
+        machine node: each node prefetches its next batch's sample+gather
+        while the current batch trains (same bit-identical-math guarantee as
+        :class:`~repro.train.trainer.WholeGraphTrainer`)."""
         if num_machine_nodes < 1:
             raise ValueError("need at least one machine node")
         if fanouts is None:
@@ -82,6 +91,13 @@ class ClusterTrainer:
         self.optimizers = [Adam(m.parameters(), lr=lr) for m in self.models]
         self.rngs = RngPool(seed, num_machine_nodes)
         self.epoch_rng = self.rngs.named("cluster-epochs")
+        self.overlap = bool(overlap)
+        #: per-node dropout streams, separate from the sampling streams so
+        #: both schedules consume each stream in the same order
+        self._model_rngs = [
+            self.rngs.named(f"cluster-dropout-{i}")
+            for i in range(num_machine_nodes)
+        ]
         self._epoch = 0
 
     def _grad_nbytes(self) -> int:
@@ -111,6 +127,43 @@ class ClusterTrainer:
             for clock in node.gpu_clock:
                 clock.advance(t, phase="train")
 
+    def _overlapped_node_step(
+        self,
+        executor: PipelinedExecutor,
+        i: int,
+        batch: np.ndarray,
+        batches: list[np.ndarray],
+        nxt: int,
+    ) -> float:
+        """Node ``i`` trains ``batch`` while prefetching its next batch.
+
+        ``nxt`` is the global index of the batch node ``i`` will process in
+        the next round-robin step; its sample+gather runs concurrently with
+        this step's training compute, so only the exposed tail
+        ``max(0, train - prefetch)`` advances the node's clocks.
+        """
+        node = self.nodes[i]
+        sample_rng = self.rngs.rank(i)
+        if not executor.has_staged:
+            # prologue: the epoch's first prefetch is fully exposed
+            executor.prefetch(batch, sample_rng, mirror_ranks=True)
+        sg, x_np = executor.take()
+        prefetch_t = 0.0
+        if nxt < len(batches):
+            prefetch_t = executor.prefetch(
+                batches[nxt], sample_rng, mirror_ranks=True
+            )
+        loss, _ = train_batch(
+            self.models[i], sg, x_np, self.stores[i].labels[batch],
+            rng=self._model_rngs[i], optimizer=None, compute_grads=True,
+        )
+        train_t = (
+            self.models[i].estimate_train_time(sg)
+            + allreduce_cost(node, self._grad_nbytes())
+        )
+        executor.charge_overlapped_train(train_t, prefetch_t)
+        return loss
+
     def train_epoch(self, max_iterations: int | None = None) -> dict:
         """One epoch; global batches are distributed round-robin over the
         machine nodes and processed concurrently (per-node clocks advance
@@ -129,13 +182,29 @@ class ClusterTrainer:
         losses = []
         # round-robin: step s processes batches[s*k : (s+1)*k] concurrently
         k = self.num_machine_nodes
+        executors = (
+            [
+                PipelinedExecutor(self.stores[i], self.samplers[i], rank=0)
+                for i in range(k)
+            ]
+            if self.overlap
+            else None
+        )
         for s in range(0, len(batches), k):
             group = batches[s : s + k]
             for i, batch in enumerate(group):
+                if self.overlap:
+                    losses.append(
+                        self._overlapped_node_step(
+                            executors[i], i, batch, batches, s + k + i
+                        )
+                    )
+                    continue
                 res = run_iteration(
                     self.stores[i], self.samplers[i], self.models[i],
                     batch, 0, self.rngs.rank(i),
                     optimizer=None, compute_grads=True, charge_train=True,
+                    model_rng=self._model_rngs[i],
                 )
                 losses.append(res.loss)
                 # symmetric intra-node ranks + intra-node all-reduce

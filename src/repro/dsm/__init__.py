@@ -14,6 +14,8 @@ This package reproduces that protocol step-by-step:
 - :mod:`repro.dsm.whole_memory` — partitioned shared allocations;
 - :mod:`repro.dsm.whole_tensor` — typed 2-D tensors over WholeMemory with
   costed gather/scatter (the op behind feature storage);
+- :mod:`repro.dsm.feature_cache` — per-rank hot-row HBM caches over the
+  gather path (degree-ordered static and CLOCK policies);
 - :mod:`repro.dsm.unified_memory` — the CUDA UM page-migration alternative
   (Table I comparison);
 - :mod:`repro.dsm.comm` — NCCL-style collectives over the *distributed
@@ -24,6 +26,7 @@ from repro.dsm.ipc import IpcHandle, ipc_get_mem_handle, ipc_open_mem_handle
 from repro.dsm.pointer_table import MemoryPointerTable
 from repro.dsm.whole_memory import WholeMemory
 from repro.dsm.whole_tensor import WholeTensor
+from repro.dsm.feature_cache import FeatureCache
 from repro.dsm.host_tensor import HostPinnedTensor
 from repro.dsm.unified_memory import UnifiedMemorySpace
 from repro.dsm.comm import Communicator
@@ -35,6 +38,7 @@ __all__ = [
     "MemoryPointerTable",
     "WholeMemory",
     "WholeTensor",
+    "FeatureCache",
     "HostPinnedTensor",
     "UnifiedMemorySpace",
     "Communicator",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dsm.feature_cache import FeatureCache
 from repro.dsm.host_tensor import HostPinnedTensor
 from repro.dsm.whole_tensor import WholeTensor
 from repro.graph.csr import CSRGraph
@@ -41,15 +42,27 @@ class MultiGpuGraphStore:
         seed: int = 0,
         charge_setup: bool = True,
         feature_location: str = "device",
+        cache_ratio: float = 0.0,
+        cache_policy: str = "static",
     ):
         """``feature_location``: ``"device"`` scatters features across GPU
         memory (WholeGraph proper); ``"host_pinned"`` keeps them in CPU DRAM
         with zero-copy PCIe access — the fallback the open-source WholeGraph
         offers for graphs beyond aggregate GPU memory, and the baseline of
-        the storage-location ablation."""
+        the storage-location ablation.
+
+        ``cache_ratio`` > 0 layers a per-rank hot-row HBM cache
+        (:class:`~repro.dsm.feature_cache.FeatureCache`) over the feature
+        gather path: that fraction of the feature rows is cached per rank,
+        with ``cache_policy`` selecting the degree-ordered ``"static"``
+        placement or the online ``"clock"`` (LRU-approximating) policy."""
         if feature_location not in ("device", "host_pinned"):
             raise ValueError(
                 "feature_location must be 'device' or 'host_pinned'"
+            )
+        if cache_ratio and feature_location != "device":
+            raise ValueError(
+                "the feature cache requires device-resident features"
             )
         self.feature_location = feature_location
         self.node = node
@@ -124,6 +137,17 @@ class MultiGpuGraphStore:
         stored_features = dataset.features[self.partition.to_original]
         self.feature_tensor.load_from_host(stored_features, phase="load")
 
+        # -- hot-row feature cache (optional) -----------------------------------
+        self.feature_cache = None
+        if cache_ratio:
+            self.feature_cache = FeatureCache.from_ratio(
+                self.feature_tensor,
+                cache_ratio,
+                policy=cache_policy,
+                degrees=np.diff(self.csr.indptr),
+                charge_fill=charge_setup,
+            )
+
         # -- edge-feature storage (optional) -------------------------------------
         # edge weights live with the source node's edges, same partition as
         # the indices array (paper §III-B: "node or edge features")
@@ -185,7 +209,14 @@ class MultiGpuGraphStore:
     def gather_features(
         self, stored_nodes, rank: int, phase: str = "gather"
     ) -> np.ndarray:
-        """Shared-memory global gather of node features onto ``rank``."""
+        """Shared-memory global gather of node features onto ``rank``.
+
+        When a hot-row cache is configured, rows resident in ``rank``'s
+        cache are served from local HBM; the result is bit-identical either
+        way.
+        """
+        if self.feature_cache is not None:
+            return self.feature_cache.gather(stored_nodes, rank, phase=phase)
         return self.feature_tensor.gather(stored_nodes, rank, phase=phase)
 
     def gather_edge_weights(
@@ -210,6 +241,9 @@ class MultiGpuGraphStore:
     def free(self) -> None:
         self.indptr_tensor.free()
         self.indices_tensor.free()
+        if self.feature_cache is not None:
+            self.feature_cache.free()
+            self.feature_cache = None
         self.feature_tensor.free()
         if self.edge_weight_tensor is not None:
             self.edge_weight_tensor.free()

@@ -136,6 +136,25 @@ def gather_time(
     return config.KERNEL_LAUNCH_OVERHEAD + max(t_remote, t_local)
 
 
+def cached_gather_time(
+    local_bytes: float, remote_bytes: float, segment_bytes: float
+) -> float:
+    """One gather kernel split between local-HBM and remote-NVLink streams.
+
+    This is the cost of a cache-aware gather (:mod:`repro.dsm.feature_cache`):
+    rows served by the per-rank hot-row cache — plus rows whose home partition
+    is the calling GPU — ride the local HBM random-read curve, while cache
+    misses owned by peers pay the Fig. 8 NVLink curve.  Both streams proceed
+    concurrently inside the kernel, so the slower one dominates, exactly as in
+    :func:`gather_time` (to which this degenerates when the cache is empty).
+    """
+    if local_bytes + remote_bytes <= 0:
+        return config.KERNEL_LAUNCH_OVERHEAD
+    t_remote = remote_bytes / random_read_bus_bw(segment_bytes)
+    t_local = local_bytes / local_random_read_bw(segment_bytes)
+    return config.KERNEL_LAUNCH_OVERHEAD + max(t_remote, t_local)
+
+
 def host_pinned_gather_time(total_bytes: float, segment_bytes: float) -> float:
     """GPU gather of random segments out of *host-pinned* memory.
 

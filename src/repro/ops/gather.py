@@ -56,15 +56,22 @@ class DistributedGatherTrace:
 
     step_times: dict[str, float] = field(default_factory=dict)
     total_time: float = 0.0
-    #: payload bytes of the feature alltoallv (step 4) per rank, for the
+    #: mean payload bytes of the feature alltoallv (step 4) per rank,
+    #: summed from the *actual* reply rows each requester received — for the
     #: Fig. 10 "NCCL bandwidth measured on the final alltoallv" bar
     step4_bytes_per_rank: float = 0.0
+    #: the subset of those bytes that really crossed NVLink (home != requester)
+    step4_remote_bytes_per_rank: float = 0.0
 
     def step4_bus_bw(self, num_ranks: int) -> float:
         """BusBW of the feature alltoallv alone (what Fig. 10 reports)."""
         t = self.step_times.get("alltoallv_features", 0.0)
         if t <= 0:
             return 0.0
+        if self.step4_remote_bytes_per_rank > 0:
+            return self.step4_remote_bytes_per_rank / t
+        # fall back to the uniform-ownership estimate when the actual remote
+        # payload was not recorded
         remote = self.step4_bytes_per_rank * (num_ranks - 1) / num_ranks
         return remote / t
 
@@ -93,13 +100,13 @@ def distributed_memory_gather(
     for rank, rows in enumerate(per_rank_rows):
         rows = np.asarray(rows, dtype=np.int64)
         owners, local = tensor._owners_and_local(rows)
-        row_buckets, row_orders = [], []
-        for home in range(nr):
-            mask = owners == home
-            row_buckets.append(local[mask])
-            row_orders.append(np.flatnonzero(mask))
-        buckets.append(row_buckets)
-        orders.append(row_orders)
+        # single stable sort by owner replaces one boolean-mask pass per
+        # rank: positions sorted by home give the reorder indices, and the
+        # per-home counts give the split points
+        order = np.argsort(owners, kind="stable")
+        splits = np.cumsum(np.bincount(owners, minlength=nr))[:-1]
+        buckets.append(np.split(local[order], splits))
+        orders.append(np.split(order, splits))
         # one pass over the IDs: read id, compute owner, write to bucket
         node.gpu_clock[rank].advance(
             costmodel.elementwise_time(rows.nbytes * 2), phase=phase
@@ -141,10 +148,18 @@ def distributed_memory_gather(
     # feature_replies[requester][home]
     t4 = step_mark()
     trace.step_times["alltoallv_features"] = t4 - t3
-    trace.step4_bytes_per_rank = float(
-        np.mean([rows.size for rows in map(np.asarray, per_rank_rows)])
-        * tensor.row_bytes
-    )
+    # sum the actual reply payloads each requester received (requests can be
+    # uneven across ranks, so this is not the mean of *requested* rows)
+    reply_bytes = np.zeros(nr)
+    remote_reply_bytes = np.zeros(nr)
+    for requester in range(nr):
+        for home in range(nr):
+            nbytes = feature_replies[requester][home].nbytes
+            reply_bytes[requester] += nbytes
+            if home != requester:
+                remote_reply_bytes[requester] += nbytes
+    trace.step4_bytes_per_rank = float(reply_bytes.mean())
+    trace.step4_remote_bytes_per_rank = float(remote_reply_bytes.mean())
 
     # ---- step 5: local reorder into input order --------------------------------
     results = []

@@ -2,6 +2,11 @@
 
 from repro.telemetry.utilization import utilization_trace, mean_utilization
 from repro.telemetry.bandwidth import algo_bw, bus_bw, bw_from_gather_stats
+from repro.telemetry.cache import (
+    cache_report,
+    cache_summary,
+    per_rank_cache_stats,
+)
 from repro.telemetry.report import format_table
 
 __all__ = [
@@ -10,5 +15,8 @@ __all__ = [
     "algo_bw",
     "bus_bw",
     "bw_from_gather_stats",
+    "cache_report",
+    "cache_summary",
+    "per_rank_cache_stats",
     "format_table",
 ]

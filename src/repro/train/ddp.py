@@ -68,15 +68,20 @@ class DistributedDataParallel:
                     raise AssertionError(f"replica {i} diverged")
 
 
-def charge_allreduce(node: SimNode, grad_nbytes: int,
-                     phase: str = "train") -> float:
-    """Charge the gradient all-reduce cost to every GPU clock."""
-    t = costmodel.allreduce_time(
+def allreduce_cost(node: SimNode, grad_nbytes: int) -> float:
+    """Simulated duration of the intra-node gradient all-reduce."""
+    return costmodel.allreduce_time(
         grad_nbytes,
         node.num_gpus,
         node.spec.nvlink.bandwidth,
         node.spec.nvlink.latency,
     )
+
+
+def charge_allreduce(node: SimNode, grad_nbytes: int,
+                     phase: str = "train") -> float:
+    """Charge the gradient all-reduce cost to every GPU clock."""
+    t = allreduce_cost(node, grad_nbytes)
     for clock in node.gpu_clock:
         clock.advance(t, phase=phase)
     return t

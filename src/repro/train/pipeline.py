@@ -10,6 +10,19 @@ One iteration on one GPU rank:
 
 Each phase advances the rank's simulated clock under its phase label;
 Fig. 9/11/12 are read off the resulting timeline.
+
+Two execution schedules are provided:
+
+- :func:`run_iteration` — the sequential schedule: sample, gather and train
+  back-to-back on the rank's clock (total = sum of the phases);
+- :class:`PipelinedExecutor` — the double-buffered schedule: while batch *i*
+  trains, batch *i+1*'s sample+gather runs concurrently (the prefetch
+  stream), so the steady-state per-iteration time is
+  ``max(train_i, sample_{i+1} + gather_{i+1})`` instead of the sum.  The
+  functional math is identical — the models, losses and trained weights are
+  bit-for-bit the same as the sequential schedule when sampling and dropout
+  draw from separate streams (both schedules consume each stream in batch
+  order).
 """
 
 from __future__ import annotations
@@ -35,6 +48,59 @@ class IterationResult:
     num_input_nodes: int
 
 
+def sample_and_gather(
+    store,
+    sampler: NeighborSampler,
+    seeds: np.ndarray,
+    rank: int,
+    rng: np.random.Generator,
+    sample_phase: str = "sample",
+    gather_phase: str = "gather",
+) -> tuple[SampledSubgraph, np.ndarray, float, float]:
+    """The data-preparation half of an iteration on ``rank``.
+
+    Returns ``(subgraph, gathered features, sample time, gather time)``;
+    both phases advance ``rank``'s clock under their own labels.
+    """
+    clock = store.node.gpu_clock[rank]
+    t0 = clock.now
+    subgraph = sampler.sample(seeds, rank, rng, phase=sample_phase)
+    t1 = clock.now
+    x_np = store.gather_features(
+        subgraph.input_nodes, rank, phase=gather_phase
+    )
+    t2 = clock.now
+    return subgraph, x_np, t1 - t0, t2 - t1
+
+
+def train_batch(
+    model,
+    subgraph: SampledSubgraph,
+    x_np: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator | None = None,
+    optimizer=None,
+    compute_grads: bool | None = None,
+) -> tuple[float, float]:
+    """The compute half: forward (+ backward + step) on gathered features.
+
+    Purely functional — charges no clocks; callers account the simulated
+    train time themselves (sequentially via ``estimate_train_time`` or
+    overlapped in the pipelined schedule).  Returns ``(loss, accuracy)``.
+    """
+    if compute_grads is None:
+        compute_grads = optimizer is not None
+    x = Tensor(x_np)
+    logits = model(subgraph, x, rng if compute_grads else None)
+    loss = F.cross_entropy(logits, labels)
+    if compute_grads:
+        model.zero_grad()
+        loss.backward()
+        if optimizer is not None:
+            optimizer.step()
+    return float(loss.data), accuracy(logits.data, labels)
+
+
 def run_iteration(
     store,
     sampler: NeighborSampler,
@@ -46,13 +112,17 @@ def run_iteration(
     charge_train: bool = True,
     compute_grads: bool | None = None,
     train_time_factor: float = 1.0,
+    model_rng: np.random.Generator | None = None,
 ) -> IterationResult:
-    """Run one mini-batch iteration on ``rank``.
+    """Run one mini-batch iteration on ``rank`` (sequential schedule).
 
     ``optimizer`` given: backward + step.  ``compute_grads=True`` without an
     optimizer: backward only (the DDP path, which steps after the gradient
-    all-reduce).  Neither: pure inference (evaluation path).  The returned
-    phase times are the clock deltas this iteration added on ``rank``.
+    all-reduce).  Neither: pure inference (evaluation path).  ``model_rng``
+    gives dropout its own stream (defaults to ``rng`` — the legacy shared
+    stream); the pipelined schedule relies on the split so both schedules
+    consume each stream in the same order.  The returned phase times are the
+    clock deltas this iteration added on ``rank``.
     """
     if compute_grads is None:
         compute_grads = optimizer is not None
@@ -60,21 +130,15 @@ def run_iteration(
     clock = node.gpu_clock[rank]
 
     t0 = clock.now
-    subgraph = sampler.sample(seeds, rank, rng, phase="sample")
-    t1 = clock.now
-
-    x_np = store.gather_features(subgraph.input_nodes, rank, phase="gather")
-    t2 = clock.now
-
-    x = Tensor(x_np)
-    logits = model(subgraph, x, rng if compute_grads else None)
+    subgraph, x_np, t_sample, t_gather = sample_and_gather(
+        store, sampler, seeds, rank, rng
+    )
     labels = store.labels[seeds]
-    loss = F.cross_entropy(logits, labels)
-    if compute_grads:
-        model.zero_grad()
-        loss.backward()
-        if optimizer is not None:
-            optimizer.step()
+    loss, batch_acc = train_batch(
+        model, subgraph, x_np, labels,
+        rng=model_rng if model_rng is not None else rng,
+        optimizer=optimizer, compute_grads=compute_grads,
+    )
     if charge_train:
         clock.advance(
             model.estimate_train_time(subgraph) * train_time_factor,
@@ -83,9 +147,94 @@ def run_iteration(
     t3 = clock.now
 
     return IterationResult(
-        loss=float(loss.data),
-        batch_accuracy=accuracy(logits.data, labels),
-        times=PhaseTimes(sample=t1 - t0, gather=t2 - t1, train=t3 - t2),
+        loss=loss,
+        batch_accuracy=batch_acc,
+        times=PhaseTimes(
+            sample=t_sample, gather=t_gather,
+            train=t3 - t0 - t_sample - t_gather,
+        ),
         subgraph=subgraph,
         num_input_nodes=int(subgraph.input_nodes.shape[0]),
     )
+
+
+class PipelinedExecutor:
+    """Double-buffered sample+gather prefetch over one store/sampler pair.
+
+    Drives the Fig. 1 loop with software pipelining: the caller asks for the
+    current batch's prepared data (:meth:`take`) and immediately issues the
+    next batch's prefetch (:meth:`prefetch`), then charges only the
+    *exposed* portion of the train time via :meth:`charge_overlapped_train`
+    — the part not hidden behind the prefetch that ran concurrently.
+
+    The prefetch stream charges the ``sample``/``gather`` phases on the main
+    clock (the copy/compute engines share the GPU's timeline); the train
+    compute of the *previous* batch then only pays
+    ``max(0, train - prefetch)`` — together that models the steady state
+    ``max(train_i, sample_{i+1}+gather_{i+1})`` per iteration.
+    """
+
+    def __init__(self, store, sampler: NeighborSampler, rank: int = 0):
+        self.store = store
+        self.sampler = sampler
+        self.rank = rank
+        self.node = store.node
+        self._staged: tuple[SampledSubgraph, np.ndarray] | None = None
+        self._staged_time = 0.0
+        #: sample/gather durations of the most recent prefetch
+        self.last_sample_time = 0.0
+        self.last_gather_time = 0.0
+
+    def prefetch(
+        self, seeds: np.ndarray, rng: np.random.Generator,
+        mirror_ranks: bool = False,
+    ) -> float:
+        """Sample+gather ``seeds`` into the staging buffer; returns the
+        prefetch duration.  ``mirror_ranks=True`` charges the same durations
+        to all other ranks (the SPMD-symmetric approximation)."""
+        if self._staged is not None:
+            raise RuntimeError("staging buffer full — take() the batch first")
+        sg, x_np, t_sample, t_gather = sample_and_gather(
+            self.store, self.sampler, seeds, self.rank, rng
+        )
+        if mirror_ranks:
+            for r in range(self.node.num_gpus):
+                if r == self.rank:
+                    continue
+                clk = self.node.gpu_clock[r]
+                clk.advance(t_sample, phase="sample")
+                clk.advance(t_gather, phase="gather")
+        self._staged = (sg, x_np)
+        self.last_sample_time = t_sample
+        self.last_gather_time = t_gather
+        self._staged_time = t_sample + t_gather
+        return self._staged_time
+
+    @property
+    def has_staged(self) -> bool:
+        return self._staged is not None
+
+    def take(self) -> tuple[SampledSubgraph, np.ndarray]:
+        """Pop the staged (subgraph, features) pair for training."""
+        if self._staged is None:
+            raise RuntimeError("nothing staged — call prefetch() first")
+        staged, self._staged = self._staged, None
+        return staged
+
+    def charge_overlapped_train(
+        self, train_time: float, prefetch_time: float,
+        ranks: list[int] | None = None, phase: str = "train",
+    ) -> float:
+        """Charge the exposed tail of an overlapped train phase.
+
+        ``prefetch_time`` already advanced the clock while the training
+        compute ran concurrently, so only ``max(0, train - prefetch)`` is
+        exposed.  Returns the exposed duration.
+        """
+        exposed = max(0.0, train_time - prefetch_time)
+        targets = (
+            range(self.node.num_gpus) if ranks is None else ranks
+        )
+        for r in targets:
+            self.node.gpu_clock[r].advance(exposed, phase=phase)
+        return exposed

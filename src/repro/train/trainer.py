@@ -25,9 +25,13 @@ from repro.nn.models import build_model
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 from repro.ops.neighbor_sampler import NeighborSampler
-from repro.train.ddp import DistributedDataParallel, charge_allreduce
+from repro.train.ddp import (
+    DistributedDataParallel,
+    allreduce_cost,
+    charge_allreduce,
+)
 from repro.train.metrics import PhaseTimes
-from repro.train.pipeline import run_iteration
+from repro.train.pipeline import PipelinedExecutor, run_iteration, train_batch
 from repro.utils.rng import RngPool
 
 
@@ -66,10 +70,18 @@ class WholeGraphTrainer:
         dropout: float = 0.5,
         compute_ranks: str = "one",
         layer_cost_factor: float = 1.0,
+        overlap: bool = False,
     ):
         """``layer_cost_factor`` scales the simulated *training-compute* time
         — 1.0 for WholeGraph's fused layers, >1 when the model is built from
-        third-party (DGL/PyG) layer implementations (paper §IV-C5)."""
+        third-party (DGL/PyG) layer implementations (paper §IV-C5).
+
+        ``overlap=True`` trains with the double-buffered pipelined schedule:
+        batch *i+1*'s sample+gather prefetches while batch *i* trains, so
+        the steady-state iteration time is the max of the two instead of the
+        sum.  The trained model is bit-identical to ``overlap=False``
+        (sampling and dropout use separate streams, consumed in batch order
+        under both schedules)."""
         self.store = store
         self.node = store.node
         self.model_name = model_name
@@ -86,7 +98,15 @@ class WholeGraphTrainer:
         self.epoch_rng = self.rngs.named("epochs")
         if compute_ranks not in ("one", "all"):
             raise ValueError("compute_ranks must be 'one' or 'all'")
+        if overlap and compute_ranks == "all":
+            raise ValueError(
+                "the pipelined schedule runs in the symmetric mode only"
+            )
         self.compute_ranks = compute_ranks
+        self.overlap = bool(overlap)
+        #: dropout stream, separate from the sampling stream so the
+        #: sequential and pipelined schedules consume both identically
+        self._model_rng = self.rngs.named("dropout")
 
         init_rng = self.rngs.named("init")
         self.model = build_model(
@@ -125,8 +145,22 @@ class WholeGraphTrainer:
             for i in range(nb)
         ]
 
-    def train_epoch(self, max_iterations: int | None = None) -> EpochStats:
-        """One pass over the training nodes (optionally truncated)."""
+    def train_epoch(
+        self,
+        max_iterations: int | None = None,
+        overlap: bool | None = None,
+    ) -> EpochStats:
+        """One pass over the training nodes (optionally truncated).
+
+        ``overlap`` overrides the constructor's schedule for this epoch;
+        with the pipelined schedule, phase totals still record the *full*
+        per-phase work while ``epoch_time`` reflects the overlap.
+        """
+        overlap = self.overlap if overlap is None else bool(overlap)
+        if overlap and self.compute_ranks == "all":
+            raise ValueError(
+                "the pipelined schedule runs in the symmetric mode only"
+            )
         self.model.train()
         node = self.node
         batches = self._epoch_batches()
@@ -136,11 +170,14 @@ class WholeGraphTrainer:
         losses: list[float] = []
         phase_totals = PhaseTimes()
 
-        for it, batch in enumerate(batches):
-            if self.compute_ranks == "all":
-                losses.append(self._step_all_ranks(batch, it))
-            else:
-                losses.append(self._step_symmetric(batch, phase_totals))
+        if overlap:
+            losses = self._epoch_pipelined(batches, phase_totals)
+        else:
+            for it, batch in enumerate(batches):
+                if self.compute_ranks == "all":
+                    losses.append(self._step_all_ranks(batch, it))
+                else:
+                    losses.append(self._step_symmetric(batch, phase_totals))
         t_epoch_end = node.sync()
 
         if self.compute_ranks == "all":
@@ -169,6 +206,7 @@ class WholeGraphTrainer:
             self.store, self.sampler, self.model, batch, 0,
             self.rngs.rank(0), optimizer=self.optimizer, charge_train=True,
             train_time_factor=self.layer_cost_factor,
+            model_rng=self._model_rng,
         )
         for r in range(1, node.num_gpus):
             clk = node.gpu_clock[r]
@@ -179,6 +217,54 @@ class WholeGraphTrainer:
         node.sync()
         phase_totals += res.times
         return res.loss
+
+    def _epoch_pipelined(self, batches: list[np.ndarray],
+                         phase_totals: PhaseTimes) -> list[float]:
+        """Double-buffered epoch: prefetch batch i+1 while batch i trains.
+
+        Same math, same RNG stream consumption order as the sequential
+        schedule — only the clock accounting overlaps: each iteration
+        charges ``max(train_i, sample_{i+1}+gather_{i+1})``, with the first
+        batch's prefetch fully exposed (the pipeline prologue).
+        """
+        node = self.node
+        if not batches:
+            return []
+        executor = PipelinedExecutor(self.store, self.sampler, rank=0)
+        sample_rng = self.rngs.rank(0)
+        losses: list[float] = []
+
+        executor.prefetch(batches[0], sample_rng, mirror_ranks=True)
+        phase_totals += PhaseTimes(
+            sample=executor.last_sample_time,
+            gather=executor.last_gather_time,
+        )
+        node.sync()
+        for i, batch in enumerate(batches):
+            sg, x_np = executor.take()
+            prefetch_t = 0.0
+            if i + 1 < len(batches):
+                prefetch_t = executor.prefetch(
+                    batches[i + 1], sample_rng, mirror_ranks=True
+                )
+                phase_totals += PhaseTimes(
+                    sample=executor.last_sample_time,
+                    gather=executor.last_gather_time,
+                )
+            # training of batch i runs concurrently with that prefetch
+            loss, _ = train_batch(
+                self.model, sg, x_np, self.store.labels[batch],
+                rng=self._model_rng, optimizer=self.optimizer,
+            )
+            train_t = (
+                self.model.estimate_train_time(sg) * self.layer_cost_factor
+                + allreduce_cost(node, self.model.grad_nbytes())
+            )
+            executor.charge_overlapped_train(train_t, prefetch_t)
+            node.sync()
+            losses.append(loss)
+            phase_totals += PhaseTimes(train=train_t)
+        return losses
 
     def _step_all_ranks(self, batch: np.ndarray, it: int) -> float:
         """True DDP: per-rank batches, real gradient all-reduce."""

@@ -1,0 +1,98 @@
+"""Pipelined prefetch schedule: bit-identical math, lower simulated time."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.trainer import ClusterTrainer
+from repro.graph import MultiGpuGraphStore, load_dataset
+from repro.hardware import SimNode
+from repro.train import WholeGraphTrainer
+
+
+@pytest.fixture(scope="module")
+def pipeline_dataset():
+    # enough train nodes for several batches of 32 per epoch
+    return load_dataset(
+        "ogbn-products", num_nodes=3000, seed=7, feature_dim=16,
+        num_classes=5,
+    )
+
+
+def _run_trainer(dataset, overlap, epochs=2):
+    store = MultiGpuGraphStore(SimNode(), dataset, seed=0)
+    trainer = WholeGraphTrainer(
+        store, "graphsage", seed=3, batch_size=32, fanouts=[5, 5],
+        hidden=32, overlap=overlap,
+    )
+    stats = [trainer.train_epoch() for _ in range(epochs)]
+    weights = [p.data.copy() for p in trainer.model.parameters()]
+    return stats, weights, trainer.evaluate()
+
+
+def test_overlap_bit_identical_and_faster(pipeline_dataset):
+    s_seq, w_seq, acc_seq = _run_trainer(pipeline_dataset, overlap=False)
+    s_pipe, w_pipe, acc_pipe = _run_trainer(pipeline_dataset, overlap=True)
+    for a, b in zip(s_seq, s_pipe):
+        assert a.mean_loss == b.mean_loss  # bit-for-bit, not allclose
+        assert a.iterations == b.iterations > 1
+        assert b.epoch_time < a.epoch_time
+        # the pipeline can at best hide the smaller of the two halves
+        assert b.epoch_time >= a.epoch_time / 2
+    assert all(np.array_equal(x, y) for x, y in zip(w_seq, w_pipe))
+    assert acc_seq == acc_pipe
+
+
+def test_overlap_phase_totals_record_full_work(pipeline_dataset):
+    """Phase totals still report the un-overlapped per-phase work."""
+    store = MultiGpuGraphStore(SimNode(), pipeline_dataset, seed=0)
+    trainer = WholeGraphTrainer(
+        store, "graphsage", seed=3, batch_size=32, fanouts=[5, 5],
+        hidden=32, overlap=True,
+    )
+    stats = trainer.train_epoch()
+    assert stats.times.sample > 0
+    assert stats.times.gather > 0
+    assert stats.times.train > 0
+    # overlap means wall time < sum of the recorded phase work
+    assert stats.epoch_time < stats.times.total
+
+
+def test_overlap_per_epoch_override(pipeline_dataset):
+    store = MultiGpuGraphStore(SimNode(), pipeline_dataset, seed=0)
+    trainer = WholeGraphTrainer(
+        store, "graphsage", seed=3, batch_size=32, fanouts=[5, 5],
+        hidden=32, overlap=False,
+    )
+    seq = trainer.train_epoch()
+    pipe = trainer.train_epoch(overlap=True)
+    assert pipe.epoch_time < seq.epoch_time
+
+
+def test_overlap_rejects_all_ranks_mode(small_store):
+    with pytest.raises(ValueError):
+        WholeGraphTrainer(
+            small_store, "graphsage", compute_ranks="all", overlap=True
+        )
+
+
+def test_cluster_overlap_equivalence(pipeline_dataset):
+    def run(overlap):
+        tr = ClusterTrainer(
+            pipeline_dataset, num_machine_nodes=2, model_name="graphsage",
+            seed=3, batch_size=32, fanouts=[5, 5], hidden=32,
+            overlap=overlap,
+        )
+        stats = [tr.train_epoch() for _ in range(2)]
+        tr.assert_in_sync()
+        weights = [p.data.copy() for p in tr.models[0].parameters()]
+        return stats, weights, tr.evaluate()
+
+    s_seq, w_seq, acc_seq = run(False)
+    s_pipe, w_pipe, acc_pipe = run(True)
+    for a, b in zip(s_seq, s_pipe):
+        assert a["mean_loss"] == b["mean_loss"]
+        assert b["epoch_time"] < a["epoch_time"]
+    assert all(np.array_equal(x, y) for x, y in zip(w_seq, w_pipe))
+    assert acc_seq == acc_pipe
