@@ -1,0 +1,63 @@
+"""Exports a Chrome trace + RunReport manifest of one training epoch.
+
+The observability demo: trains one (truncated) WholeGraph epoch with the
+hot-row cache enabled, then writes
+
+- ``results/trace_epoch.json`` — Chrome trace-event JSON (drop it into
+  https://ui.perfetto.dev or ``chrome://tracing``): one thread lane per
+  GPU, spans labeled sample/gather/train, counter tracks for per-link
+  bytes and the cache hit rate;
+- ``results/run_report_epoch.json`` — the structured run manifest
+  ``benchmarks/compare_runs.py`` diffs between commits.
+"""
+
+import json
+
+from benchmarks.conftest import RESULTS_DIR, run_once
+from repro.graph import MultiGpuGraphStore, load_dataset
+from repro.hardware import SimNode
+from repro.telemetry import metrics
+from repro.telemetry.trace import export_chrome_trace
+from repro.train import WholeGraphTrainer
+
+
+def _train_one_epoch():
+    metrics.get_registry().reset()
+    ds = load_dataset("ogbn-products", num_nodes=20_000, seed=0)
+    node = SimNode()
+    store = MultiGpuGraphStore(node, ds, seed=0, cache_ratio=0.05)
+    trainer = WholeGraphTrainer(store, "graphsage", seed=0, batch_size=512,
+                                fanouts=[10, 10])
+    node.reset_clocks()
+    stats = trainer.train_epoch(max_iterations=8)
+    return node, trainer, stats
+
+
+def test_trace_export_epoch(benchmark, emit):
+    node, trainer, stats = run_once(benchmark, _train_one_epoch)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trace_path = RESULTS_DIR / "trace_epoch.json"
+    text = export_chrome_trace(
+        node.timeline, path=trace_path, metrics=metrics.get_registry()
+    )
+    doc = json.loads(text)
+    span_events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    assert len(span_events) == len(node.timeline.spans)
+    counter_events = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+    assert counter_events, "expected per-link byte / hit-rate counter tracks"
+
+    report = trainer.run_report(name="trace_epoch_demo")
+    report.save(RESULTS_DIR / "run_report_epoch.json")
+
+    emit(
+        "trace_export",
+        "\n".join([
+            f"epoch_time (simulated): {stats.epoch_time*1e3:.2f} ms over "
+            f"{stats.iterations} iterations",
+            f"trace: {trace_path} "
+            f"({len(span_events)} spans, {len(counter_events)} counter "
+            f"samples) — open in https://ui.perfetto.dev",
+            f"run report: {RESULTS_DIR / 'run_report_epoch.json'}",
+        ]),
+    )

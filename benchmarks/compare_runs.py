@@ -1,0 +1,117 @@
+"""Diff two RunReport manifests and flag perf regressions.
+
+The seed of a perf-CI loop: a baseline manifest (from the last good commit)
+and a candidate manifest (from this build) are compared phase by phase; any
+phase total — or the overall epoch time — that grew past the tolerance makes
+the tool exit non-zero.
+
+Usage::
+
+    python benchmarks/compare_runs.py baseline.json candidate.json
+    python benchmarks/compare_runs.py a.json b.json --tolerance 0.05
+
+Only stdlib + the manifest JSON are needed; the tool never imports
+``repro``, so it can run against manifests from any commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: default allowed relative growth before a value counts as a regression
+DEFAULT_TOLERANCE = 0.10
+
+
+def _fmt_delta(old: float, new: float) -> str:
+    pct = 100.0 * (new - old) / old if old else float("inf")
+    return f"{old:.6g} -> {new:.6g} ({pct:+.1f}%)"
+
+
+def compare_reports(
+    baseline: dict, candidate: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> tuple[list[str], list[str]]:
+    """Compare two manifest dicts; returns ``(regressions, notes)``.
+
+    A *regression* is a phase total (or ``epoch_time``) in the candidate
+    exceeding the baseline by more than ``tolerance`` (relative).  Phases
+    present on only one side, and improvements, are reported as notes.
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    if baseline.get("name") != candidate.get("name"):
+        notes.append(
+            f"comparing different runs: {baseline.get('name')!r} "
+            f"vs {candidate.get('name')!r}"
+        )
+
+    base_phases = dict(baseline.get("phase_totals") or {})
+    cand_phases = dict(candidate.get("phase_totals") or {})
+    if baseline.get("epoch_time") is not None:
+        base_phases["epoch_time"] = baseline["epoch_time"]
+    if candidate.get("epoch_time") is not None:
+        cand_phases["epoch_time"] = candidate["epoch_time"]
+
+    for phase in sorted(base_phases):
+        old = float(base_phases[phase])
+        if phase not in cand_phases:
+            notes.append(f"phase {phase!r} disappeared (was {old:.6g}s)")
+            continue
+        new = float(cand_phases[phase])
+        if old <= 0:
+            continue
+        if new > old * (1.0 + tolerance):
+            regressions.append(
+                f"phase {phase!r} regressed: {_fmt_delta(old, new)} "
+                f"exceeds {tolerance:.0%} tolerance"
+            )
+        elif new < old * (1.0 - tolerance):
+            notes.append(f"phase {phase!r} improved: {_fmt_delta(old, new)}")
+    for phase in sorted(set(cand_phases) - set(base_phases)):
+        notes.append(
+            f"new phase {phase!r} ({float(cand_phases[phase]):.6g}s)"
+        )
+
+    base_acc = baseline.get("accuracy")
+    cand_acc = candidate.get("accuracy")
+    if base_acc is not None and cand_acc is not None:
+        if cand_acc < base_acc - tolerance:
+            regressions.append(
+                f"accuracy regressed: {base_acc:.4f} -> {cand_acc:.4f}"
+            )
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two RunReport JSON manifests; exit 1 on regression."
+    )
+    parser.add_argument("baseline", help="baseline manifest (JSON)")
+    parser.add_argument("candidate", help="candidate manifest (JSON)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative growth (default: 0.10)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.candidate) as f:
+        candidate = json.load(f)
+
+    regressions, notes = compare_reports(
+        baseline, candidate, tolerance=args.tolerance
+    )
+    for note in notes:
+        print(f"note: {note}")
+    for regression in regressions:
+        print(f"REGRESSION: {regression}")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

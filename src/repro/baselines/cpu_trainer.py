@@ -60,6 +60,7 @@ class CpuBaselineTrainer:
         self.store = store
         self.node = store.node
         self.profile = profile
+        self.seed = int(seed)
         self.batch_size = int(batch_size)
         if fanouts is None:
             fanouts = [config.FANOUT] * num_layers
@@ -203,6 +204,31 @@ class CpuBaselineTrainer:
         self._epoch += 1
         self.history.append(stats)
         return stats
+
+    # -- run artifacts --------------------------------------------------------------------------
+
+    def run_report(self, name: str | None = None,
+                   accuracy: float | None = None,
+                   extra: dict | None = None):
+        """Structured JSON manifest of this baseline run (see
+        :mod:`repro.telemetry.run_report`)."""
+        from repro.telemetry.run_report import report_from_node
+
+        return report_from_node(
+            name if name is not None else self.profile.name.lower(),
+            self.node,
+            kind="train",
+            config={
+                "framework": self.profile.name,
+                "batch_size": self.batch_size,
+                "fanouts": self.fanouts,
+                "num_gpus": self.node.num_gpus,
+            },
+            seed=self.seed,
+            accuracy=accuracy,
+            history=[s.as_row() for s in self.history],
+            extra=extra,
+        )
 
     # -- evaluation -----------------------------------------------------------------------------
 

@@ -63,6 +63,9 @@ class ClusterTrainer:
             num_layers = len(fanouts)
         self.batch_size = int(batch_size)
         self.num_machine_nodes = num_machine_nodes
+        self.seed = int(seed)
+        self.model_name = model_name
+        self.history: list[dict] = []
 
         # one full replica of everything per machine node (§III-D: "each
         # machine node holds one replica of the graph structure and graph
@@ -225,12 +228,49 @@ class ClusterTrainer:
                 opt.step()
         t_end = max(node.sync() for node in self.nodes)
         self._epoch += 1
-        return {
+        stats = {
             "epoch": self._epoch - 1,
             "mean_loss": float(np.mean(losses)) if losses else float("nan"),
             "iterations": len(batches),
             "epoch_time": t_end - max(t_starts),
         }
+        self.history.append(stats)
+        return stats
+
+    def run_report(self, name: str = "cluster",
+                   accuracy: float | None = None,
+                   extra: dict | None = None):
+        """Structured JSON manifest of the multi-node run (machine node 0's
+        timeline; per-node epoch times in ``extra``) — see
+        :mod:`repro.telemetry.run_report`."""
+        from repro.telemetry.run_report import report_from_node
+
+        merged = {
+            "node_epoch_times": [
+                max(c.now for c in node.gpu_clock) for node in self.nodes
+            ],
+        }
+        merged.update(extra or {})
+        return report_from_node(
+            name,
+            self.nodes[0],
+            kind="train",
+            config={
+                "model": self.model_name,
+                "batch_size": self.batch_size,
+                "num_machine_nodes": self.num_machine_nodes,
+                "num_gpus_per_node": self.nodes[0].num_gpus,
+                "overlap": self.overlap,
+            },
+            seed=self.seed,
+            feature_stats=getattr(
+                self.stores[0].feature_tensor, "stats", None
+            ),
+            cache=self.stores[0].feature_cache,
+            accuracy=accuracy,
+            history=list(self.history),
+            extra=merged,
+        )
 
     def assert_in_sync(self, atol: float = 1e-5) -> None:
         """All machine-node replicas hold identical weights."""

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.dsm.whole_tensor import WholeTensor
 from repro.hardware import costmodel
+from repro.telemetry import metrics
 
 #: eviction/placement policies the cache understands
 CACHE_POLICIES = ("static", "clock")
@@ -210,18 +211,43 @@ class FeatureCache:
                 # the miss rows are already in registers after the gather;
                 # pay only the HBM write into the cache array
                 t += costmodel.elementwise_time(inserted * self.row_bytes)
-        self.node.gpu_clock[rank].advance(t, phase=phase)
+        self.node.gpu_clock[rank].advance(
+            t, phase=phase, category="gather",
+            args={"rows": int(rows.size), "cache_hits": num_hits,
+                  "remote_miss_rows": remote_miss},
+        )
 
+        num_misses = rows.size - num_hits
+        remote_saved = (
+            int(np.count_nonzero(hit & (owners != rank))) * self.row_bytes
+        )
         stats = st.stats
         stats["gather_calls"] += 1
         stats["hits"] += num_hits
-        stats["misses"] += rows.size - num_hits
+        stats["misses"] += num_misses
         stats["hit_bytes"] += num_hits * self.row_bytes
-        stats["miss_bytes"] += (rows.size - num_hits) * self.row_bytes
-        stats["remote_bytes_saved"] += (
-            int(np.count_nonzero(hit & (owners != rank))) * self.row_bytes
-        )
+        stats["miss_bytes"] += num_misses * self.row_bytes
+        stats["remote_bytes_saved"] += remote_saved
         stats["gather_time"] += t
+
+        reg = metrics.get_registry()
+        now = self.node.gpu_clock[rank].now
+        reg.counter("cache_requests_total").inc(rows.size)
+        reg.counter("cache_hits_total").inc(num_hits)
+        reg.counter("cache_misses_total").inc(num_misses)
+        reg.counter("cache_remote_bytes_saved_total").inc(remote_saved)
+        # cached gathers bypass WholeTensor.gather, so the per-link ledger
+        # is fed here: remote misses ride NVLink, everything else is HBM
+        reg.counter("gather_link_bytes_total", link="nvlink").inc(
+            remote_miss * self.row_bytes, t=now
+        )
+        reg.counter("gather_link_bytes_total", link="hbm").inc(
+            local_rows * self.row_bytes, t=now
+        )
+        total = reg.total("cache_hits_total") + reg.total("cache_misses_total")
+        reg.gauge("cache_hit_rate").set(
+            reg.total("cache_hits_total") / total if total else 0.0, t=now
+        )
         return out
 
     def _insert_misses(

@@ -25,6 +25,7 @@ import numpy as np
 from repro.hardware import costmodel
 from repro.hardware.machine import SimNode
 from repro.dsm.whole_memory import WholeMemory, split_evenly
+from repro.telemetry import metrics
 
 
 class WholeTensor:
@@ -54,6 +55,7 @@ class WholeTensor:
         self.dtype = np.dtype(dtype)
         self.row_bytes = self.num_cols * self.dtype.itemsize
         self.materialized = materialize
+        self.tag = tag
         if partition not in ("block", "cyclic"):
             raise ValueError("partition must be 'block' or 'cyclic'")
         if partition == "cyclic" and rows_per_rank is not None:
@@ -205,18 +207,39 @@ class WholeTensor:
 
         total_bytes = rows.size * self.row_bytes
         remote = float(np.count_nonzero(owners != rank)) / max(rows.size, 1)
+        remote_bytes = int(round(total_bytes * remote))
         t = costmodel.gather_time(
             total_bytes,
             self.row_bytes,
             self.node.num_gpus,
             remote_fraction=remote,
         )
-        self.node.gpu_clock[rank].advance(t, phase=phase)
+        clock = self.node.gpu_clock[rank]
+        clock.advance(
+            t, phase=phase, category="gather",
+            args={"rows": int(rows.size), "bytes": int(total_bytes),
+                  "remote_bytes": remote_bytes, "tensor": self.tag},
+        )
         self.stats["gather_calls"] += 1
         self.stats["gather_rows"] += int(rows.size)
         self.stats["gather_bytes"] += int(total_bytes)
-        self.stats["gather_remote_bytes"] += int(round(total_bytes * remote))
+        self.stats["gather_remote_bytes"] += remote_bytes
         self.stats["gather_time"] += t
+
+        reg = metrics.get_registry()
+        now = clock.now
+        reg.counter("gather_requests_total", tensor=self.tag).inc(1)
+        reg.counter("gather_rows_total", tensor=self.tag).inc(rows.size)
+        reg.counter("gather_link_bytes_total", link="nvlink").inc(
+            remote_bytes, t=now
+        )
+        reg.counter("gather_link_bytes_total", link="hbm").inc(
+            total_bytes - remote_bytes, t=now
+        )
+        reg.counter("gather_seconds_total", tensor=self.tag).inc(t)
+        reg.histogram("gather_rows_per_call", tensor=self.tag).observe(
+            rows.size
+        )
         return out
 
     def gather_no_cost(self, rows) -> np.ndarray:

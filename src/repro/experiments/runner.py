@@ -6,14 +6,26 @@ Usage::
     python -m repro.experiments.runner --list           # what exists
     python -m repro.experiments.runner --all             # everything (slow)
 
-Each experiment prints the paper's rows and runs its shape check;
-the process exits non-zero if any shape check fails.
+Each experiment prints the paper's rows, runs its shape check, and writes a
+:class:`~repro.telemetry.run_report.RunReport` JSON manifest (result rows,
+per-phase totals, metrics snapshot) under ``--report-dir`` (default
+``runs/``; ``--no-report`` disables).  Manifests from two commits are diffed
+by ``benchmarks/compare_runs.py`` to flag perf regressions.  The process
+exits non-zero if any shape check fails.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
+
+from repro.telemetry import metrics
+from repro.telemetry.run_report import (
+    RunReport,
+    json_safe,
+    phase_totals_from_registry,
+)
 
 from repro.experiments import (
     ablations,
@@ -49,19 +61,53 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(name: str) -> bool:
-    """Run one experiment end-to-end; returns True on shape-check success."""
+def run_experiment(name: str, report_dir=None) -> bool:
+    """Run one experiment end-to-end; returns True on shape-check success.
+
+    With ``report_dir`` set, a ``<name>.json`` :class:`RunReport` manifest
+    is written there: the experiment's serialized rows, the per-phase time
+    totals and the full metrics snapshot the run accumulated (the registry
+    is reset first so the manifest is scoped to this experiment).
+    """
     module, kwargs = EXPERIMENTS[name]
     print(f"== {name}: {module.__doc__.strip().splitlines()[0]}")
+    registry = metrics.get_registry()
+    registry.reset()
     result = module.run(**kwargs)
     print(module.report(result))
+    ok = True
     try:
         module.check_shape(result)
     except AssertionError as exc:
         print(f"!! shape check FAILED: {exc}")
-        return False
-    print("shape check passed\n")
-    return True
+        ok = False
+    else:
+        print("shape check passed\n")
+
+    if report_dir is not None:
+        report_dir = pathlib.Path(report_dir)
+        report_dir.mkdir(parents=True, exist_ok=True)
+        serialized = json_safe(result)
+        manifest = RunReport(
+            name=name,
+            kind="experiment",
+            config=dict(kwargs),
+            phase_totals=phase_totals_from_registry(registry),
+            metrics=registry.snapshot(),
+            rows=serialized if isinstance(serialized, list) else None,
+            extra={
+                "shape_check": ok,
+                **(
+                    {}
+                    if isinstance(serialized, list)
+                    else {"result": serialized}
+                ),
+            },
+        )
+        path = report_dir / f"{name}.json"
+        manifest.save(path)
+        print(f"run report written to {path}")
+    return ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -74,6 +120,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="list available experiments")
     parser.add_argument("--all", action="store_true",
                         help="run every experiment")
+    parser.add_argument("--report-dir", default="runs",
+                        help="directory for RunReport JSON manifests "
+                             "(default: runs/)")
+    parser.add_argument("--no-report", action="store_true",
+                        help="skip writing RunReport manifests")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -88,7 +139,8 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}; see --list")
 
-    ok = all([run_experiment(name) for name in names])
+    report_dir = None if args.no_report else args.report_dir
+    ok = all([run_experiment(name, report_dir=report_dir) for name in names])
     return 0 if ok else 1
 
 

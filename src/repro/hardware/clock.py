@@ -9,6 +9,11 @@ breakdowns (Fig. 9/11) are computed from these spans.
 A span's ``busy`` flag distinguishes time the device spends *computing* from
 time it spends *waiting* (e.g. a GPU idling while the host CPU samples, the
 DGL/PyG failure mode the paper highlights).
+
+Spans optionally carry a ``category`` and an ``args`` metadata dict — these
+flow straight into the Chrome trace-event export
+(:func:`repro.telemetry.trace.export_chrome_trace`), where ``args`` shows up
+in the Perfetto span details pane.
 """
 
 from __future__ import annotations
@@ -25,6 +30,10 @@ class Span:
     end: float
     phase: str
     busy: bool = True
+    #: coarse grouping for trace viewers (e.g. "sampling", "comm", "compute")
+    category: str = ""
+    #: free-form metadata (bytes moved, rows gathered, ...) for the trace
+    args: dict | None = None
 
     @property
     def duration(self) -> float:
@@ -32,36 +41,57 @@ class Span:
 
 
 class Timeline:
-    """Append-only log of spans across all devices."""
+    """Append-only log of spans across all devices.
+
+    Besides the flat ``spans`` list, the timeline maintains incremental
+    per-device and per-(phase, device) indexes so that ``device_spans`` and
+    ``phase_total`` — called per sampling window by the utilization trace and
+    per phase by every breakdown — do not re-scan the full span log.
+    """
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
+        self._by_device: dict[str, list[Span]] = {}
+        self._phase_device_total: dict[tuple[str, str], float] = {}
 
     def record(self, span: Span) -> None:
         self.spans.append(span)
+        self._by_device.setdefault(span.device, []).append(span)
+        key = (span.phase, span.device)
+        self._phase_device_total[key] = (
+            self._phase_device_total.get(key, 0.0) + span.duration
+        )
+
+    def devices(self) -> list[str]:
+        """Device names in first-seen order."""
+        return list(self._by_device)
 
     def device_spans(self, device: str) -> list[Span]:
         """All spans of a device, in recording (== time) order."""
-        return [s for s in self.spans if s.device == device]
+        return list(self._by_device.get(device, ()))
 
     def phase_total(self, phase: str, device: str | None = None) -> float:
         """Total simulated time spent in ``phase`` (optionally per device)."""
+        if device is not None:
+            return self._phase_device_total.get((phase, device), 0.0)
         return sum(
-            s.duration
-            for s in self.spans
-            if s.phase == phase and (device is None or s.device == device)
+            t
+            for (p, _), t in self._phase_device_total.items()
+            if p == phase
         )
 
     def phase_breakdown(self, device: str | None = None) -> dict[str, float]:
         """Map phase name -> total simulated seconds."""
         out: dict[str, float] = {}
-        for s in self.spans:
-            if device is None or s.device == device:
-                out[s.phase] = out.get(s.phase, 0.0) + s.duration
+        for (phase, dev), t in self._phase_device_total.items():
+            if device is None or dev == device:
+                out[phase] = out.get(phase, 0.0) + t
         return out
 
     def clear(self) -> None:
         self.spans.clear()
+        self._by_device.clear()
+        self._phase_device_total.clear()
 
 
 class SimClock:
@@ -72,7 +102,14 @@ class SimClock:
         self.now = 0.0
         self.timeline = timeline
 
-    def advance(self, dt: float, phase: str = "other", busy: bool = True) -> float:
+    def advance(
+        self,
+        dt: float,
+        phase: str = "other",
+        busy: bool = True,
+        category: str = "",
+        args: dict | None = None,
+    ) -> float:
         """Advance by ``dt`` seconds, logging a span; returns new ``now``."""
         if dt < 0:
             raise ValueError(f"cannot advance clock by negative dt={dt}")
@@ -80,7 +117,8 @@ class SimClock:
         self.now = start + dt
         if self.timeline is not None and dt > 0:
             self.timeline.record(
-                Span(self.device, start, self.now, phase, busy)
+                Span(self.device, start, self.now, phase, busy,
+                     category=category, args=args)
             )
         return self.now
 
@@ -91,7 +129,8 @@ class SimClock:
             self.now = t
             if self.timeline is not None:
                 self.timeline.record(
-                    Span(self.device, start, t, phase, busy=False)
+                    Span(self.device, start, t, phase, busy=False,
+                         category="idle")
                 )
         return self.now
 

@@ -29,6 +29,7 @@ import numpy as np
 from repro.dsm.comm import Communicator
 from repro.dsm.whole_tensor import WholeTensor
 from repro.hardware import costmodel
+from repro.telemetry import metrics
 
 
 def shared_memory_gather(
@@ -177,4 +178,14 @@ def distributed_memory_gather(
     t5 = step_mark()
     trace.step_times["reorder"] = t5 - t4
     trace.total_time = t5 - t_start
+
+    reg = metrics.get_registry()
+    for step, dt in trace.step_times.items():
+        reg.counter("nccl_gather_step_seconds_total", step=step).inc(dt)
+    reg.counter("nccl_gather_bytes_total", payload="features").inc(
+        trace.step4_bytes_per_rank * nr
+    )
+    reg.counter("nccl_gather_bytes_total", payload="features_remote").inc(
+        trace.step4_remote_bytes_per_rank * nr
+    )
     return results, trace

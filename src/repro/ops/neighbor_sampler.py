@@ -21,6 +21,7 @@ import numpy as np
 from repro.hardware import costmodel
 from repro.ops.append_unique import append_unique, sort_based_append_unique
 from repro.ops.sampling import batch_sample_without_replacement
+from repro.telemetry import metrics
 from repro.utils.scan import exclusive_prefix_sum
 
 
@@ -212,5 +213,20 @@ class NeighborSampler:
                     )
                 else:
                     t += costmodel.sort_unique_time(targets.shape[0] + edges)
-                node.gpu_clock[rank].advance(t, phase=phase)
+                node.gpu_clock[rank].advance(
+                    t, phase=phase, category="sampling",
+                    args={"layer": len(blocks) - 1, "fanout": fanout,
+                          "targets": int(targets.shape[0]),
+                          "edges": edges,
+                          "unique_src": int(uni.num_unique)},
+                )
+                reg = metrics.get_registry()
+                reg.counter("sampler_edges_total").inc(edges)
+                reg.counter("sampler_layers_total").inc(1)
+                # realised fan-out per target (min(degree, fanout)) and the
+                # frontier growth the AppendUnique dedup left behind
+                reg.histogram("sampler_fanout").observe(counts)
+                reg.histogram("sampler_frontier_rows").observe(
+                    uni.num_unique
+                )
         return SampledSubgraph(frontiers=frontiers, blocks=blocks)

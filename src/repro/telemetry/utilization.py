@@ -25,23 +25,39 @@ def utilization_trace(
     ``window`` is the sampling period (``nvidia-smi`` polls ~1 s; the
     experiments use a window that yields ~100 points per run).
     """
-    spans = [s for s in timeline.device_spans(device)]
+    spans = timeline.device_spans(device)
     if t_end is None:
         t_end = max((s.end for s in spans), default=t_start + window)
     edges = np.arange(t_start, t_end + window, window)
     if edges.shape[0] < 2:
         edges = np.array([t_start, t_start + window])
-    busy = np.zeros(edges.shape[0] - 1)
-    for s in spans:
-        if not s.busy:
-            continue
-        # distribute the busy span over the windows it overlaps
-        lo = np.searchsorted(edges, s.start, side="right") - 1
-        hi = np.searchsorted(edges, s.end, side="left")
-        for w in range(max(lo, 0), min(hi, busy.shape[0])):
-            overlap = min(s.end, edges[w + 1]) - max(s.start, edges[w])
-            if overlap > 0:
-                busy[w] += overlap
+    nw = edges.shape[0] - 1
+    busy = np.zeros(nw)
+
+    # vectorised distribution of every busy span over the windows it
+    # overlaps: clip the spans to the sampled range, then spread each one as
+    # (full window width over its covered windows) minus the partial-window
+    # corrections at its two ends — all via searchsorted + a difference array
+    starts = np.array([s.start for s in spans if s.busy])
+    ends = np.array([s.end for s in spans if s.busy])
+    if starts.size:
+        starts = np.clip(starts, edges[0], edges[-1])
+        ends = np.clip(ends, edges[0], edges[-1])
+        keep = ends > starts
+        starts, ends = starts[keep], ends[keep]
+    if starts.size:
+        lo = np.clip(np.searchsorted(edges, starts, side="right") - 1,
+                     0, nw - 1)
+        hi = np.clip(np.searchsorted(edges, ends, side="left"), 1, nw)
+        # full window width over windows [lo, hi)
+        diff = np.zeros(nw + 1)
+        np.add.at(diff, lo, window)
+        np.add.at(diff, hi, -window)
+        busy = np.cumsum(diff)[:nw]
+        # trim the first window down to the true overlap start ...
+        np.add.at(busy, lo, -(starts - edges[lo]))
+        # ... and the last one down to the true overlap end
+        np.add.at(busy, hi - 1, -(edges[hi] - ends))
     centers = (edges[:-1] + edges[1:]) / 2
     return centers, 100.0 * busy / window
 

@@ -34,6 +34,7 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 from repro.ops.neighbor_sampler import NeighborSampler, SampledSubgraph
+from repro.telemetry import metrics
 from repro.train.metrics import PhaseTimes, accuracy
 
 
@@ -70,6 +71,9 @@ def sample_and_gather(
         subgraph.input_nodes, rank, phase=gather_phase
     )
     t2 = clock.now
+    reg = metrics.get_registry()
+    reg.counter("phase_seconds_total", phase=sample_phase).inc(t1 - t0)
+    reg.counter("phase_seconds_total", phase=gather_phase).inc(t2 - t1)
     return subgraph, x_np, t1 - t0, t2 - t1
 
 
@@ -142,9 +146,16 @@ def run_iteration(
     if charge_train:
         clock.advance(
             model.estimate_train_time(subgraph) * train_time_factor,
-            phase="train",
+            phase="train", category="compute",
+            args={"edges": subgraph.total_edges(),
+                  "input_nodes": int(subgraph.input_nodes.shape[0])},
         )
     t3 = clock.now
+    reg = metrics.get_registry()
+    reg.counter("iterations_total", schedule="sequential").inc(1)
+    reg.counter("phase_seconds_total", phase="train").inc(
+        t3 - t0 - t_sample - t_gather
+    )
 
     return IterationResult(
         loss=loss,
@@ -236,5 +247,15 @@ class PipelinedExecutor:
             range(self.node.num_gpus) if ranks is None else ranks
         )
         for r in targets:
-            self.node.gpu_clock[r].advance(exposed, phase=phase)
+            self.node.gpu_clock[r].advance(
+                exposed, phase=phase, category="compute",
+                args={"train_time": train_time,
+                      "hidden_by_prefetch": train_time - exposed},
+            )
+        reg = metrics.get_registry()
+        reg.counter("iterations_total", schedule="pipelined").inc(1)
+        reg.counter("phase_seconds_total", phase=phase).inc(train_time)
+        reg.counter("overlap_hidden_seconds_total").inc(
+            train_time - exposed
+        )
         return exposed

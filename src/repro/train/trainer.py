@@ -85,6 +85,7 @@ class WholeGraphTrainer:
         self.store = store
         self.node = store.node
         self.model_name = model_name
+        self.seed = int(seed)
         self.layer_cost_factor = float(layer_cost_factor)
         self.batch_size = int(batch_size)
         if fanouts is None:
@@ -289,6 +290,41 @@ class WholeGraphTrainer:
             opt.step()
         node.sync()
         return float(np.mean(losses))
+
+    # -- run artifacts ----------------------------------------------------------------
+
+    def run_report(self, name: str = "wholegraph",
+                   accuracy: float | None = None,
+                   extra: dict | None = None):
+        """Build the structured JSON manifest of everything trained so far.
+
+        Captures config, seed, the rank-0 phase breakdown, feature-gather
+        bandwidths, the metrics-registry snapshot, cache statistics and (if
+        given) the final accuracy — see
+        :mod:`repro.telemetry.run_report`.
+        """
+        from repro.telemetry.run_report import report_from_node
+
+        return report_from_node(
+            name,
+            self.node,
+            kind="train",
+            config={
+                "model": self.model_name,
+                "batch_size": self.batch_size,
+                "fanouts": self.sampler.fanouts,
+                "num_gpus": self.node.num_gpus,
+                "compute_ranks": self.compute_ranks,
+                "overlap": self.overlap,
+                "layer_cost_factor": self.layer_cost_factor,
+            },
+            seed=self.seed,
+            feature_stats=getattr(self.store.feature_tensor, "stats", None),
+            cache=self.store.feature_cache,
+            accuracy=accuracy,
+            history=[s.as_row() for s in self.history],
+            extra=extra,
+        )
 
     # -- inference --------------------------------------------------------------------
 

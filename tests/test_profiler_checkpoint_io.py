@@ -51,6 +51,36 @@ def test_profiler_empty_region():
     assert prof.elapsed() == 0.0
 
 
+def test_profiler_never_advanced_device_elapsed_zero():
+    node = SimNode()
+    with PhaseProfiler(node) as prof:
+        node.gpu_clock[0].advance(1e-3, phase="train")
+    assert prof.elapsed(node.gpu_clock[0].device) == pytest.approx(1e-3)
+    # devices that recorded nothing report zero, not KeyError
+    assert prof.elapsed(node.gpu_clock[3].device) == 0.0
+    assert prof.elapsed(node.host_clock.device) == 0.0
+    assert prof.phase_totals(node.gpu_clock[3].device) == {}
+
+
+def test_nested_profilers_on_same_node():
+    node = SimNode()
+    clk = node.gpu_clock[0]
+    dev = clk.device
+    with PhaseProfiler(node) as outer:
+        clk.advance(1e-3, phase="sample")
+        with PhaseProfiler(node) as inner:
+            clk.advance(2e-3, phase="train")
+        clk.advance(4e-3, phase="gather")
+    # the inner region sees only its own span ...
+    assert inner.phase_totals(dev) == pytest.approx({"train": 2e-3})
+    assert inner.elapsed(dev) == pytest.approx(2e-3)
+    # ... while the outer region sees all three
+    assert outer.phase_totals(dev) == pytest.approx(
+        {"sample": 1e-3, "train": 2e-3, "gather": 4e-3}
+    )
+    assert outer.elapsed(dev) == pytest.approx(7e-3)
+
+
 # -- checkpointing -------------------------------------------------------------------------
 
 def test_checkpoint_roundtrip_adam(tmp_path, rng):

@@ -32,7 +32,8 @@ def test_no_args_is_an_error():
 
 
 def test_runs_a_fast_experiment(capsys):
-    assert runner.main(["table4"]) == 0
+    assert runner.main(["table4", "--no-report"]) == 0
     out = capsys.readouterr().out
     assert "Table IV" in out
     assert "shape check passed" in out
+    assert "run report" not in out

@@ -51,6 +51,41 @@ def test_empty_timeline_zero_utilization():
     assert mean_utilization(Timeline(), "gpu0", t_end=1.0) == 0.0
 
 
+def test_utilization_trace_integrates_to_mean():
+    """Window-averaged trace == overall busy fraction (same integral)."""
+    tl = Timeline()
+    c = SimClock("gpu0", tl)
+    rng = np.random.default_rng(0)
+    for dt in rng.uniform(0.01, 0.7, size=40):
+        c.advance(dt, phase="k", busy=bool(rng.integers(2)))
+    t_end = 10.0  # a whole number of windows past every span
+    window = 0.5
+    _, u = utilization_trace(tl, "gpu0", window=window, t_end=t_end)
+    assert np.mean(u) == pytest.approx(
+        mean_utilization(tl, "gpu0", t_end=t_end)
+    )
+
+
+def test_utilization_trace_matches_reference_loop():
+    """The vectorised accumulation equals the per-span/per-window overlap."""
+    tl = Timeline()
+    c = SimClock("gpu0", tl)
+    rng = np.random.default_rng(3)
+    for dt in rng.uniform(0.0, 1.3, size=60):
+        c.advance(dt, phase="k", busy=bool(rng.integers(2)))
+    window = 0.7
+    centers, u = utilization_trace(tl, "gpu0", window=window)
+    edges = np.arange(0.0, centers[-1] + window, window)
+    expected = np.zeros(centers.shape[0])
+    for s in tl.device_spans("gpu0"):
+        if not s.busy:
+            continue
+        for w in range(expected.shape[0]):
+            overlap = min(s.end, edges[w + 1]) - max(s.start, edges[w])
+            expected[w] += max(0.0, overlap)
+    assert np.allclose(u, 100.0 * expected / window)
+
+
 def test_bandwidth_helpers():
     assert algo_bw(100.0, 2.0) == 50.0
     assert algo_bw(100.0, 0.0) == 0.0
@@ -61,6 +96,22 @@ def test_bandwidth_helpers():
         8,
     )
     assert out["algo_bw"] == 80 and out["bus_bw"] == 70
+    assert out["num_gpus"] == 8
+
+
+def test_bw_from_gather_stats_uniform_fallback():
+    """Without a remote-bytes ledger, BusBW falls back to (N-1)/N."""
+    stats = {"gather_time": 1.0, "gather_bytes": 800}  # host-pinned style
+    out = bw_from_gather_stats(stats, 8)
+    assert out["algo_bw"] == pytest.approx(800.0)
+    assert out["bus_bw"] == pytest.approx(800.0 * 7 / 8)
+    # measured and uniform agree exactly when the pattern IS uniform
+    uniform = bw_from_gather_stats(
+        {"gather_time": 1.0, "gather_bytes": 800,
+         "gather_remote_bytes": 700},
+        8,
+    )
+    assert uniform["bus_bw"] == pytest.approx(out["bus_bw"])
 
 
 def test_format_table_alignment():

@@ -1,0 +1,250 @@
+"""Chrome-trace export, RunReport manifests, and the compare_runs tool."""
+
+import json
+
+import pytest
+
+from benchmarks import compare_runs
+from repro.graph import MultiGpuGraphStore
+from repro.hardware import SimNode
+from repro.hardware.clock import SimClock, Timeline
+from repro.telemetry.metrics import MetricsRegistry, set_registry
+from repro.telemetry.run_report import RunReport, json_safe
+from repro.telemetry.trace import (
+    _split_device,
+    export_chrome_trace,
+    trace_events,
+)
+from repro.train import WholeGraphTrainer
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    prev = set_registry(fresh)
+    yield fresh
+    set_registry(prev)
+
+
+# -- trace export -------------------------------------------------------------------
+
+
+def test_split_device_node_prefix():
+    assert _split_device("gpu0") == (0, "gpu0")
+    assert _split_device("n2.gpu1") == (2, "gpu1")
+    assert _split_device("host") == (0, "host")
+    assert _split_device("n1.host") == (1, "host")
+
+
+def test_trace_roundtrip_small_timeline():
+    tl = Timeline()
+    c0 = SimClock("gpu0", tl)
+    c1 = SimClock("n1.gpu0", tl)
+    c0.advance(1e-3, phase="sample", category="sampling", args={"rows": 5})
+    c0.advance(2e-3, phase="train")
+    c1.advance(3e-3, phase="gather")
+    c1.wait_until(7e-3)
+
+    doc = json.loads(export_chrome_trace(tl))
+    events = doc["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    assert len(xs) == len(tl.spans) == 4
+    for e in xs:
+        for key in ("ph", "ts", "dur", "pid", "tid", "name"):
+            assert key in e
+    # devices on different sim nodes land in different processes
+    by_name = {e["name"]: e for e in xs if e["name"] != "wait"}
+    assert by_name["sample"]["pid"] == 0
+    assert by_name["gather"]["pid"] == 1
+    assert by_name["sample"]["args"] == {"rows": 5, "busy": True}
+    assert by_name["sample"]["cat"] == "sampling"
+    # microsecond timestamps
+    assert by_name["train"]["ts"] == pytest.approx(1e3)
+    assert by_name["train"]["dur"] == pytest.approx(2e3)
+    # the idle wait span is exported as non-busy
+    wait = next(e for e in xs if e["name"] == "wait")
+    assert wait["args"]["busy"] is False and wait["cat"] == "idle"
+    # process/thread metadata names every lane
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+
+
+def test_trace_exclude_waits():
+    tl = Timeline()
+    c = SimClock("gpu0", tl)
+    c.advance(1e-3, phase="train")
+    c.wait_until(5e-3)
+    events = trace_events(tl, include_waits=False)
+    assert [e["name"] for e in events if e["ph"] == "X"] == ["train"]
+
+
+def test_trace_counter_tracks_from_metrics(registry):
+    tl = Timeline()
+    SimClock("gpu0", tl).advance(1e-3, phase="train")
+    registry.counter("bytes_total", link="nvlink").inc(100, t=1e-4)
+    registry.counter("bytes_total", link="nvlink").inc(50, t=5e-4)
+    registry.counter("untimestamped_total").inc(7)  # no samples -> no track
+    events = trace_events(tl, metrics=registry)
+    counters = [e for e in events if e["ph"] == "C"]
+    assert [c["args"]["value"] for c in counters] == [100.0, 150.0]
+    assert counters[0]["name"] == "bytes_total{link=nvlink}"
+    assert counters[0]["ts"] == pytest.approx(100.0)  # 1e-4 s -> 100 us
+
+
+def test_export_writes_file(tmp_path):
+    tl = Timeline()
+    SimClock("gpu0", tl).advance(1e-3, phase="train")
+    path = tmp_path / "trace.json"
+    text = export_chrome_trace(tl, path=path)
+    assert json.loads(path.read_text()) == json.loads(text)
+
+
+def test_trainer_trace_covers_every_span(registry, small_dataset):
+    node = SimNode()
+    store = MultiGpuGraphStore(node, small_dataset, seed=0)
+    tr = WholeGraphTrainer(store, "gcn", seed=0, batch_size=64,
+                           fanouts=[5], hidden=8, dropout=0.0)
+    node.reset_clocks()
+    tr.train_epoch(max_iterations=2)
+    doc = json.loads(export_chrome_trace(node.timeline, metrics=registry))
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(xs) == len(node.timeline.spans)
+    assert {e["name"] for e in xs} >= {"sample", "gather", "train"}
+    # one thread lane per device that recorded spans
+    lanes = {(e["pid"], e["tid"]) for e in xs}
+    assert len(lanes) == len(node.timeline.devices())
+
+
+# -- run reports --------------------------------------------------------------------
+
+
+def test_json_safe_handles_numpy_and_nonfinite():
+    import numpy as np
+
+    out = json_safe({
+        "i": np.int64(3),
+        "f": np.float32(0.5),
+        "arr": np.arange(3),
+        "nan": float("nan"),
+        "nested": [{"x": np.float64(1.5)}],
+    })
+    assert out == {
+        "i": 3, "f": 0.5, "arr": [0, 1, 2], "nan": None,
+        "nested": [{"x": 1.5}],
+    }
+    json.dumps(out)
+
+
+def test_run_report_roundtrip(tmp_path):
+    rep = RunReport(
+        name="demo", kind="run", config={"batch_size": 64}, seed=7,
+        phase_totals={"train": 0.5}, epoch_time=1.5, accuracy=0.9,
+    )
+    path = tmp_path / "report.json"
+    rep.save(path)
+    back = RunReport.load(path)
+    assert back == rep
+    # unknown keys from future schema versions are ignored, not fatal
+    data = json.loads(path.read_text())
+    data["added_in_v2"] = True
+    assert RunReport.from_dict(data).name == "demo"
+
+
+def test_trainer_run_report(registry, small_dataset, tmp_path):
+    node = SimNode()
+    store = MultiGpuGraphStore(node, small_dataset, seed=0, cache_ratio=0.1)
+    tr = WholeGraphTrainer(store, "graphsage", seed=3, batch_size=64,
+                           fanouts=[5], hidden=8, dropout=0.0)
+    node.reset_clocks()
+    tr.train_epoch(max_iterations=2)
+    rep = tr.run_report(accuracy=0.5)
+    assert rep.seed == 3
+    assert rep.config["model"] == "graphsage"
+    assert rep.phase_totals["train"] > 0
+    assert rep.epoch_time > 0
+    assert rep.cache["hits"] + rep.cache["misses"] > 0
+    assert rep.accuracy == 0.5
+    assert len(rep.history) == 1
+    assert "cache_hits_total" in rep.metrics
+    # the manifest is plain JSON end to end
+    path = tmp_path / "r.json"
+    rep.save(path)
+    assert RunReport.load(path).phase_totals == pytest.approx(
+        rep.phase_totals
+    )
+
+
+def test_runner_writes_manifest(registry, tmp_path, capsys):
+    from repro.experiments import runner
+
+    assert runner.main(["table4", "--report-dir", str(tmp_path)]) == 0
+    path = tmp_path / "table4.json"
+    assert path.exists()
+    data = json.loads(path.read_text())
+    assert data["name"] == "table4"
+    assert data["kind"] == "experiment"
+    assert data["extra"]["shape_check"] is True
+    assert data["schema_version"] == 1
+
+
+# -- compare_runs -------------------------------------------------------------------
+
+
+def _manifest(**over):
+    base = {
+        "name": "demo",
+        "phase_totals": {"sample": 1.0, "gather": 2.0, "train": 4.0},
+        "epoch_time": 7.0,
+        "accuracy": 0.9,
+    }
+    base.update(over)
+    return base
+
+
+def test_compare_identical_reports_clean():
+    regressions, notes = compare_runs.compare_reports(_manifest(), _manifest())
+    assert regressions == [] and notes == []
+
+
+def test_compare_flags_phase_regression():
+    cand = _manifest(phase_totals={"sample": 1.0, "gather": 2.5, "train": 4.0})
+    regressions, _ = compare_runs.compare_reports(_manifest(), cand)
+    assert len(regressions) == 1
+    assert "gather" in regressions[0]
+
+
+def test_compare_within_tolerance_passes():
+    cand = _manifest(phase_totals={"sample": 1.05, "gather": 2.0, "train": 4.0})
+    regressions, _ = compare_runs.compare_reports(
+        _manifest(), cand, tolerance=0.10
+    )
+    assert regressions == []
+
+
+def test_compare_epoch_time_and_accuracy():
+    cand = _manifest(epoch_time=10.0, accuracy=0.5)
+    regressions, _ = compare_runs.compare_reports(_manifest(), cand)
+    assert any("epoch_time" in r for r in regressions)
+    assert any("accuracy" in r for r in regressions)
+
+
+def test_compare_improvement_is_a_note_not_regression():
+    cand = _manifest(phase_totals={"sample": 0.5, "gather": 2.0, "train": 4.0})
+    regressions, notes = compare_runs.compare_reports(_manifest(), cand)
+    assert regressions == []
+    assert any("improved" in n for n in notes)
+
+
+def test_compare_runs_cli_exit_codes(tmp_path, capsys):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(_manifest()))
+    b.write_text(json.dumps(_manifest(
+        phase_totals={"sample": 1.0, "gather": 2.0, "train": 6.0}
+    )))
+    assert compare_runs.main([str(a), str(a)]) == 0
+    assert compare_runs.main([str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    # a looser tolerance lets the same diff pass
+    assert compare_runs.main([str(a), str(b), "--tolerance", "0.6"]) == 0
