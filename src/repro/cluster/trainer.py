@@ -20,11 +20,11 @@ import numpy as np
 from repro import config
 from repro.graph import MultiGpuGraphStore
 from repro.graph.datasets import SyntheticDataset
-from repro.hardware import SimNode, costmodel
+from repro.hardware import SimNode
 from repro.nn.models import build_model
 from repro.nn.optim import Adam
 from repro.ops.neighbor_sampler import NeighborSampler
-from repro.train.ddp import allreduce_cost, charge_allreduce
+from repro.train.ddp import GradSyncModel
 from repro.train.pipeline import (
     PipelinedExecutor,
     run_iteration,
@@ -49,11 +49,17 @@ class ClusterTrainer:
         lr: float = 3e-3,
         dropout: float = 0.5,
         overlap: bool = False,
+        bucket_cap_mb: float | None = None,
+        overlap_grad_sync: bool = True,
     ):
         """``overlap=True`` selects the double-buffered schedule on every
         machine node: each node prefetches its next batch's sample+gather
         while the current batch trains (same bit-identical-math guarantee as
-        :class:`~repro.train.trainer.WholeGraphTrainer`)."""
+        :class:`~repro.train.trainer.WholeGraphTrainer`).
+
+        ``bucket_cap_mb`` / ``overlap_grad_sync`` configure the bucketed
+        hierarchical gradient synchronisation (intra-node NVLink ring plus
+        an inter-node IB ring per bucket); both are pure timing knobs."""
         if num_machine_nodes < 1:
             raise ValueError("need at least one machine node")
         if fanouts is None:
@@ -92,6 +98,13 @@ class ClusterTrainer:
         for m in self.models[1:]:
             m.load_state_dict(state)
         self.optimizers = [Adam(m.parameters(), lr=lr) for m in self.models]
+        #: bucketed hierarchical gradient-sync pricing over all machine nodes
+        self.grad_sync = GradSyncModel(
+            self.nodes,
+            [p.data.nbytes for p in self.models[0].parameters()],
+            bucket_cap_mb=bucket_cap_mb,
+            overlap=overlap_grad_sync,
+        )
         self.rngs = RngPool(seed, num_machine_nodes)
         self.epoch_rng = self.rngs.named("cluster-epochs")
         self.overlap = bool(overlap)
@@ -106,10 +119,9 @@ class ClusterTrainer:
     def _grad_nbytes(self) -> int:
         return sum(p.data.nbytes for p in self.models[0].parameters())
 
-    def _inter_node_allreduce(self) -> None:
-        """Average gradients across machine nodes; charge IB time."""
-        k = self.num_machine_nodes
-        if k > 1:
+    def _average_gradients(self) -> None:
+        """Functional half of the sync: average gradients across nodes."""
+        if self.num_machine_nodes > 1:
             params = [m.parameters() for m in self.models]
             for group in zip(*params):
                 grads = [
@@ -119,16 +131,6 @@ class ClusterTrainer:
                 mean = np.mean(grads, axis=0)
                 for p in group:
                     p.grad = mean.copy()
-        # hierarchical all-reduce: one shard per GPU rides the NICs
-        t = costmodel.allreduce_time(
-            self._grad_nbytes() / self.nodes[0].num_gpus,
-            max(k, 1),
-            config.INTER_NODE_BW,
-            config.INTER_NODE_LATENCY,
-        )
-        for node in self.nodes:
-            for clock in node.gpu_clock:
-                clock.advance(t, phase="train")
 
     def _overlapped_node_step(
         self,
@@ -137,15 +139,16 @@ class ClusterTrainer:
         batch: np.ndarray,
         batches: list[np.ndarray],
         nxt: int,
-    ) -> float:
+    ) -> tuple[float, float]:
         """Node ``i`` trains ``batch`` while prefetching its next batch.
 
         ``nxt`` is the global index of the batch node ``i`` will process in
         the next round-robin step; its sample+gather runs concurrently with
         this step's training compute, so only the exposed tail
-        ``max(0, train - prefetch)`` advances the node's clocks.
+        ``max(0, train - prefetch)`` advances the node's clocks.  Returns
+        ``(loss, train compute seconds)`` — the gradient sync is charged
+        per group by the caller.
         """
-        node = self.nodes[i]
         sample_rng = self.rngs.rank(i)
         if not executor.has_staged:
             # prologue: the epoch's first prefetch is fully exposed
@@ -160,12 +163,9 @@ class ClusterTrainer:
             self.models[i], sg, x_np, self.stores[i].labels[batch],
             rng=self._model_rngs[i], optimizer=None, compute_grads=True,
         )
-        train_t = (
-            self.models[i].estimate_train_time(sg)
-            + allreduce_cost(node, self._grad_nbytes())
-        )
+        train_t = self.models[i].estimate_train_time(sg)
         executor.charge_overlapped_train(train_t, prefetch_t)
-        return loss
+        return loss, train_t
 
     def train_epoch(self, max_iterations: int | None = None) -> dict:
         """One epoch; global batches are distributed round-robin over the
@@ -195,12 +195,15 @@ class ClusterTrainer:
         )
         for s in range(0, len(batches), k):
             group = batches[s : s + k]
+            producers = []
             for i, batch in enumerate(group):
                 if self.overlap:
-                    losses.append(
-                        self._overlapped_node_step(
-                            executors[i], i, batch, batches, s + k + i
-                        )
+                    loss, train_t = self._overlapped_node_step(
+                        executors[i], i, batch, batches, s + k + i
+                    )
+                    losses.append(loss)
+                    producers.append(
+                        (self.nodes[i].gpu_clock[0].now, train_t)
                     )
                     continue
                 res = run_iteration(
@@ -210,20 +213,19 @@ class ClusterTrainer:
                     model_rng=self._model_rngs[i],
                 )
                 losses.append(res.loss)
-                # symmetric intra-node ranks + intra-node all-reduce
+                # symmetric intra-node ranks
                 node = self.nodes[i]
                 for r in range(1, node.num_gpus):
                     clk = node.gpu_clock[r]
                     clk.advance(res.times.sample, phase="sample")
                     clk.advance(res.times.gather, phase="gather")
                     clk.advance(res.times.train, phase="train")
-                charge_allreduce(node, self._grad_nbytes(), phase="train")
-            # nodes that got no batch this step idle until the others finish
-            self._inter_node_allreduce()
-            t = max(node.gpu_clock[0].now for node in self.nodes)
-            for node in self.nodes:
-                for clock in node.gpu_clock:
-                    clock.wait_until(t)
+                producers.append((node.gpu_clock[0].now, res.times.train))
+            # global bucketed sync: averages the gradients functionally,
+            # then charges the hierarchical (NVLink + IB) schedule — nodes
+            # that got no batch this step stall at the collective barrier
+            self._average_gradients()
+            self.grad_sync.charge(producers, phase="allreduce")
             for opt in self.optimizers:
                 opt.step()
         t_end = max(node.sync() for node in self.nodes)
@@ -261,6 +263,9 @@ class ClusterTrainer:
                 "num_machine_nodes": self.num_machine_nodes,
                 "num_gpus_per_node": self.nodes[0].num_gpus,
                 "overlap": self.overlap,
+                "bucket_cap_mb": self.grad_sync.bucket_cap_mb,
+                "overlap_grad_sync": self.grad_sync.overlap,
+                "grad_buckets": self.grad_sync.num_buckets,
             },
             seed=self.seed,
             feature_stats=getattr(

@@ -186,6 +186,55 @@ INTER_NODE_LATENCY = 5 * US
 #: Ring-allreduce efficiency on gradients.  [fit]
 ALLREDUCE_EFFICIENCY = 0.85
 
+# ---------------------------------------------------------------------------
+# Gradient-synchronisation (Apex-DDP style) bucketing & overlap  [§III-D]
+# ---------------------------------------------------------------------------
+# The paper trains data-parallel with Apex DDP, which buckets gradients and
+# overlaps each bucket's ring all-reduce with the still-running backward
+# pass.  The chunked-ring model below prices individual buckets: tiny
+# buckets are latency/launch-bound (2(N-1) hops plus a collective launch
+# amortise nothing), large buckets ride the bandwidth term.
+
+#: Default gradient bucket capacity.  PyTorch/Apex DDP ship a 25 MB cap
+#: sized for ~100 MB vision models; the paper's 3-layer GNNs carry only
+#: ~1-2 MB of gradients, so a 25 MB cap degenerates to a single bucket and
+#: hides nothing.  We keep DDP's ~8-buckets-per-model ratio by scaling the
+#: cap to the model class.  [fit]
+DDP_BUCKET_CAP_MB = 0.25
+
+#: Fixed software cost of launching one NCCL collective (kernel launch +
+#: proxy wakeup), paid once per bucket.  [public: ~5-10 us, fit]
+NCCL_COLL_LAUNCH_OVERHEAD = 6 * US
+
+#: Pipeline chunk granularity of the ring all-reduce: each of the 2(N-1)
+#: ring steps moves its shard in chunks of this size.  [public: NCCL
+#: chunking is O(128 KB-1 MB); fit]
+RING_CHUNK_BYTES = 512 * KB
+
+#: Per-chunk protocol overhead inside a ring step (flag check + copy
+#: engine turnaround).  [fit]
+RING_CHUNK_OVERHEAD = 0.4 * US
+
+#: Below this payload NCCL switches to its low-latency (LL) protocol:
+#: flag-embedded 8-byte stores skip the copy-engine round trip, trading
+#: about half the bandwidth for a much smaller per-hop latency.  [public:
+#: NCCL_PROTO=LL for small messages; threshold fit]
+NCCL_LL_THRESHOLD = 256 * KB
+
+#: Per-hop latency multiplier under the LL protocol.  [fit to the ~3x
+#: small-message latency advantage NCCL reports for LL vs Simple]
+NCCL_LL_LATENCY_FACTOR = 0.35
+
+#: Bandwidth multiplier under the LL protocol (4-byte data + 4-byte flag
+#: per 8-byte store => ~half the line rate).  [public]
+NCCL_LL_BW_FACTOR = 0.5
+
+#: Fraction of a training step spent in the backward pass — the window in
+#: which gradients become ready and bucket all-reduces can hide.  With the
+#: 1:2 forward:backward FLOP rule and a small optimizer tail, backward is
+#: ~60% of fwd+bwd+update.  [fit]
+TRAIN_BACKWARD_FRACTION = 0.6
+
 #: Fraction of NVLink line rate NCCL sustains on alltoall(v) traffic
 #: (protocol overhead, chunking).  [public: NCCL achieves ~80% on DGX]
 NCCL_BW_EFFICIENCY = 0.8

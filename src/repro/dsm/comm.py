@@ -54,8 +54,8 @@ class Communicator:
 
     # -- collectives ------------------------------------------------------------
 
-    def _enter(self) -> None:
-        self.node.sync()
+    def _enter(self, phase: str = "wait") -> None:
+        self.node.sync(phase=phase)
 
     def allgather(self, per_rank_objects: list, phase: str = "comm",
                   nbytes_each: float = 64.0) -> list[list]:
@@ -102,21 +102,31 @@ class Communicator:
         self.node.sync()
         return recv
 
+    def ring_time(self, nbytes: float) -> float:
+        """Chunked-ring all-reduce duration for one payload of ``nbytes``."""
+        return costmodel.chunked_ring_allreduce_time(
+            nbytes, self.num_ranks, self.bandwidth, self.latency
+        )
+
     def allreduce(
         self, per_rank_arrays: list[np.ndarray], phase: str = "allreduce"
     ) -> list[np.ndarray]:
-        """Ring all-reduce (sum); every rank receives the full sum."""
+        """Ring all-reduce (sum); every rank receives the full sum.
+
+        Proper collective barrier semantics: skewed ranks first align to the
+        max clock (recorded as the distinct ``allreduce_wait`` stall phase),
+        then all pay the chunked-ring transfer time together.
+        """
         self._check_ranks(per_rank_arrays)
-        self._enter()
+        self._enter(phase="allreduce_wait")
         total = per_rank_arrays[0].astype(np.float64)
         for a in per_rank_arrays[1:]:
             total = total + a
         result = total.astype(per_rank_arrays[0].dtype)
-        t = costmodel.allreduce_time(
-            result.nbytes, self.num_ranks, self.bandwidth, self.latency
-        )
+        t = self.ring_time(result.nbytes)
         for clock in self.node.gpu_clock:
-            clock.advance(t, phase=phase)
+            clock.advance(t, phase=phase, category="comm",
+                          args={"nbytes": int(result.nbytes)})
         return [result.copy() for _ in range(self.num_ranks)]
 
     def broadcast(self, data: np.ndarray, root: int,

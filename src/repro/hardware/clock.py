@@ -122,15 +122,27 @@ class SimClock:
             )
         return self.now
 
-    def wait_until(self, t: float, phase: str = "wait") -> float:
-        """Idle (non-busy) until simulated time ``t`` if it is in the future."""
+    def wait_until(
+        self,
+        t: float,
+        phase: str = "wait",
+        category: str = "idle",
+        args: dict | None = None,
+    ) -> float:
+        """Idle (non-busy) until simulated time ``t`` if it is in the future.
+
+        ``phase`` distinguishes *why* the device stalled — e.g. the
+        ``allreduce_wait`` barrier of a collective whose ranks arrive with
+        skewed clocks — so stalls show up as their own slice in phase
+        breakdowns instead of vanishing into a generic wait.
+        """
         if t > self.now:
             start = self.now
             self.now = t
             if self.timeline is not None:
                 self.timeline.record(
                     Span(self.device, start, t, phase, busy=False,
-                         category="idle")
+                         category=category, args=args)
                 )
         return self.now
 

@@ -276,3 +276,45 @@ def allreduce_time(nbytes: float, num_ranks: int, bandwidth: float,
         2 * (num_ranks - 1) * latency
         + traffic / (bandwidth * config.ALLREDUCE_EFFICIENCY)
     )
+
+
+def chunked_ring_allreduce_time(
+    nbytes: float,
+    num_ranks: int,
+    bandwidth: float,
+    latency: float,
+    chunk_bytes: float | None = None,
+) -> float:
+    """One *bucket*'s ring all-reduce, priced with its size regime.
+
+    The ring runs 2(N-1) steps (reduce-scatter then all-gather); each step
+    moves one 1/N shard of the bucket over the slowest link, split into
+    pipeline chunks of ``chunk_bytes``.  The collective additionally pays a
+    fixed launch overhead.  Consequences the bucket-cap sweep measures:
+
+    - **latency regime** — a tiny bucket still pays the launch plus
+      2(N-1) hop latencies, so many small buckets are visibly bad;
+    - **bandwidth regime** — a large bucket amortises those fixed costs
+      and approaches the classic 2(N-1)/N * nbytes / bandwidth bound,
+      with a mild per-chunk protocol overhead.
+
+    Payloads under ``NCCL_LL_THRESHOLD`` use the LL protocol: per-hop
+    latency shrinks by ``NCCL_LL_LATENCY_FACTOR`` while the flag-interleaved
+    stores halve the usable bandwidth — exactly why DDP's *last* (small)
+    bucket drains quickly once backward ends.
+    """
+    if num_ranks <= 1 or nbytes <= 0:
+        return 0.0
+    if nbytes < config.NCCL_LL_THRESHOLD:
+        latency = latency * config.NCCL_LL_LATENCY_FACTOR
+        bandwidth = bandwidth * config.NCCL_LL_BW_FACTOR
+    chunk = config.RING_CHUNK_BYTES if chunk_bytes is None else chunk_bytes
+    shard = nbytes / num_ranks
+    chunks_per_step = max(1, math.ceil(shard / max(chunk, 1.0)))
+    eff_bw = bandwidth * config.ALLREDUCE_EFFICIENCY
+    per_step = (
+        latency
+        + chunks_per_step * config.RING_CHUNK_OVERHEAD
+        + shard / eff_bw
+    )
+    return config.NCCL_COLL_LAUNCH_OVERHEAD + 2 * (num_ranks - 1) * per_step

@@ -52,16 +52,18 @@ class SimNode:
         self.host_clock.reset()
         self.timeline.clear()
 
-    def sync(self) -> float:
+    def sync(self, phase: str = "wait") -> float:
         """Barrier: advance every device clock to the max; returns that time.
 
-        Devices that arrive early record non-busy 'wait' spans — this is what
-        shows up as idle troughs in the utilization trace.
+        Devices that arrive early record non-busy spans under ``phase`` —
+        this is what shows up as idle troughs in the utilization trace.
+        Collectives pass a dedicated phase (e.g. ``allreduce_wait``) so
+        their entry stalls are distinguishable from generic waits.
         """
         t = max([c.now for c in self.gpu_clock] + [self.host_clock.now])
         for c in self.gpu_clock:
-            c.wait_until(t)
-        self.host_clock.wait_until(t)
+            c.wait_until(t, phase=phase)
+        self.host_clock.wait_until(t, phase=phase)
         return t
 
     def total_memory_usage(self) -> int:

@@ -147,7 +147,6 @@ def sort_based_append_unique(
     if nt and np.unique(targets).shape[0] != nt:
         raise ValueError("target nodes must be unique")
 
-    target_pos = {int(n): i for i, n in enumerate(targets)}
     # sort + adjacent-compare unique of the neighbor stream
     order = np.argsort(neighbors, kind="stable")
     sorted_nbrs = neighbors[order]
@@ -155,16 +154,31 @@ def sort_based_append_unique(
     is_first[1:] = sorted_nbrs[1:] != sorted_nbrs[:-1]
     distinct = sorted_nbrs[is_first]
     # drop the ones that are targets; the rest go after the target prefix
-    not_target = np.array(
-        [int(n) not in target_pos for n in distinct], dtype=bool
-    )
+    if nt:
+        not_target = ~np.isin(distinct, targets, assume_unique=True)
+    else:
+        not_target = np.ones(distinct.shape[0], dtype=bool)
     suffix = distinct[not_target]
     unique_nodes = np.concatenate([targets, suffix])
 
-    id_of = dict(target_pos)
-    id_of.update({int(n): nt + i for i, n in enumerate(suffix)})
-    neighbor_subgraph_ids = np.array(
-        [id_of[int(n)] for n in neighbors], dtype=np.int64
+    # map every neighbor to its sub-graph ID: targets keep their position
+    # in the (unsorted) target prefix, the rest binary-search the sorted
+    # suffix — no per-element Python dict work
+    neighbor_subgraph_ids = np.empty(neighbors.shape[0], dtype=np.int64)
+    if nt:
+        tgt_order = np.argsort(targets, kind="stable")
+        sorted_tgts = targets[tgt_order]
+        pos = np.searchsorted(sorted_tgts, neighbors)
+        pos_clipped = np.minimum(pos, nt - 1)
+        is_target = sorted_tgts[pos_clipped] == neighbors
+        neighbor_subgraph_ids[is_target] = tgt_order[
+            pos_clipped[is_target]
+        ]
+    else:
+        is_target = np.zeros(neighbors.shape[0], dtype=bool)
+    rest = ~is_target
+    neighbor_subgraph_ids[rest] = nt + np.searchsorted(
+        suffix, neighbors[rest]
     )
     duplicate_counts = np.bincount(
         neighbor_subgraph_ids, minlength=unique_nodes.shape[0]

@@ -25,11 +25,8 @@ from repro.nn.models import build_model
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 from repro.ops.neighbor_sampler import NeighborSampler
-from repro.train.ddp import (
-    DistributedDataParallel,
-    allreduce_cost,
-    charge_allreduce,
-)
+from repro.telemetry import metrics
+from repro.train.ddp import DistributedDataParallel, GradSyncModel
 from repro.train.metrics import PhaseTimes
 from repro.train.pipeline import PipelinedExecutor, run_iteration, train_batch
 from repro.utils.rng import RngPool
@@ -46,10 +43,19 @@ class EpochStats:
     times: PhaseTimes
     #: simulated wall-clock duration of the epoch
     epoch_time: float
+    #: *exposed* gradient all-reduce seconds (on the critical path)
+    allreduce: float = 0.0
+    #: collective entry-barrier stall seconds (skewed ranks aligning)
+    allreduce_wait: float = 0.0
+    #: all-reduce seconds hidden behind backward compute (overlap win)
+    allreduce_hidden: float = 0.0
 
     def as_row(self) -> dict[str, float]:
         out = {"epoch": self.epoch, "loss": self.mean_loss,
-               "iters": self.iterations, "epoch_time": self.epoch_time}
+               "iters": self.iterations, "epoch_time": self.epoch_time,
+               "allreduce": self.allreduce,
+               "allreduce_wait": self.allreduce_wait,
+               "allreduce_hidden": self.allreduce_hidden}
         out.update(self.times.as_dict())
         return out
 
@@ -71,6 +77,8 @@ class WholeGraphTrainer:
         compute_ranks: str = "one",
         layer_cost_factor: float = 1.0,
         overlap: bool = False,
+        bucket_cap_mb: float | None = None,
+        overlap_grad_sync: bool = True,
     ):
         """``layer_cost_factor`` scales the simulated *training-compute* time
         — 1.0 for WholeGraph's fused layers, >1 when the model is built from
@@ -81,7 +89,14 @@ class WholeGraphTrainer:
         the steady-state iteration time is the max of the two instead of the
         sum.  The trained model is bit-identical to ``overlap=False``
         (sampling and dropout use separate streams, consumed in batch order
-        under both schedules)."""
+        under both schedules).
+
+        ``bucket_cap_mb`` sets the gradient bucket capacity of the Apex-DDP
+        style synchronisation (default :data:`config.DDP_BUCKET_CAP_MB`;
+        <= 0 forces one flat bucket) and ``overlap_grad_sync`` toggles
+        hiding each bucket's all-reduce behind the backward pass — both are
+        pure *timing* knobs, the trained weights are bit-identical either
+        way."""
         self.store = store
         self.node = store.node
         self.model_name = model_name
@@ -125,12 +140,24 @@ class WholeGraphTrainer:
                 for r in range(1, self.node.num_gpus)
             ]
             self.comm = Communicator(self.node)
-            self.ddp = DistributedDataParallel(self.replicas, self.comm)
+            self.ddp = DistributedDataParallel(
+                self.replicas, self.comm,
+                bucket_cap_mb=bucket_cap_mb,
+                overlap_grad_sync=overlap_grad_sync,
+            )
+            self.grad_sync = self.ddp.sync_model
             self.optimizers = [Adam(r.parameters(), lr=lr) for r in self.replicas]
             self.optimizers[0] = self.optimizer
         else:
             self.replicas = [self.model]
             self.ddp = None
+            self.grad_sync = GradSyncModel(
+                self.node,
+                [p.data.size * p.data.itemsize
+                 for p in self.model.parameters()],
+                bucket_cap_mb=bucket_cap_mb,
+                overlap=overlap_grad_sync,
+            )
 
         self._epoch = 0
         self.history: list[EpochStats] = []
@@ -168,6 +195,10 @@ class WholeGraphTrainer:
         if max_iterations is not None:
             batches = batches[:max_iterations]
         t_epoch_start = node.sync()
+        dev0 = node.gpu_memory[0].device
+        ar0 = node.timeline.phase_total("allreduce", dev0)
+        aw0 = node.timeline.phase_total("allreduce_wait", dev0)
+        hid0 = metrics.get_registry().total("grad_sync_hidden_seconds_total")
         losses: list[float] = []
         phase_totals = PhaseTimes()
 
@@ -194,6 +225,14 @@ class WholeGraphTrainer:
             iterations=len(batches),
             times=phase_totals,
             epoch_time=t_epoch_end - t_epoch_start,
+            allreduce=node.timeline.phase_total("allreduce", dev0) - ar0,
+            allreduce_wait=(
+                node.timeline.phase_total("allreduce_wait", dev0) - aw0
+            ),
+            allreduce_hidden=(
+                metrics.get_registry().total("grad_sync_hidden_seconds_total")
+                - hid0
+            ),
         )
         self._epoch += 1
         self.history.append(stats)
@@ -214,7 +253,10 @@ class WholeGraphTrainer:
             clk.advance(res.times.sample, phase="sample")
             clk.advance(res.times.gather, phase="gather")
             clk.advance(res.times.train, phase="train")
-        charge_allreduce(node, self.model.grad_nbytes(), phase="train")
+        self.grad_sync.charge(
+            producers=[(node.gpu_clock[0].now, res.times.train)],
+            phase="allreduce",
+        )
         node.sync()
         phase_totals += res.times
         return res.loss
@@ -259,9 +301,12 @@ class WholeGraphTrainer:
             )
             train_t = (
                 self.model.estimate_train_time(sg) * self.layer_cost_factor
-                + allreduce_cost(node, self.model.grad_nbytes())
             )
             executor.charge_overlapped_train(train_t, prefetch_t)
+            self.grad_sync.charge(
+                producers=[(node.gpu_clock[0].now, train_t)],
+                phase="allreduce",
+            )
             node.sync()
             losses.append(loss)
             phase_totals += PhaseTimes(train=train_t)
@@ -273,6 +318,7 @@ class WholeGraphTrainer:
         # split the global batch across ranks (pad by wrapping)
         per_rank = np.array_split(batch, node.num_gpus)
         losses = []
+        train_times = []
         for rank in range(node.num_gpus):
             seeds = per_rank[rank]
             if seeds.size == 0:
@@ -285,7 +331,8 @@ class WholeGraphTrainer:
                 compute_grads=True,
             )
             losses.append(res.loss)
-        self.ddp.sync_gradients(phase="train")
+            train_times.append(res.times.train)
+        self.ddp.sync_gradients(phase="allreduce", train_times=train_times)
         for opt in self.optimizers:
             opt.step()
         node.sync()
@@ -317,6 +364,9 @@ class WholeGraphTrainer:
                 "compute_ranks": self.compute_ranks,
                 "overlap": self.overlap,
                 "layer_cost_factor": self.layer_cost_factor,
+                "bucket_cap_mb": self.grad_sync.bucket_cap_mb,
+                "overlap_grad_sync": self.grad_sync.overlap,
+                "grad_buckets": self.grad_sync.num_buckets,
             },
             seed=self.seed,
             feature_stats=getattr(self.store.feature_tensor, "stats", None),

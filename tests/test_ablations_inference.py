@@ -39,6 +39,48 @@ def test_sort_unique_invariants(nt, neighbor_list, seed):
     assert np.array_equal(res.duplicate_counts, expected)
 
 
+def _reference_sort_unique(targets, neighbors):
+    """The scalar dict/loop implementation the vectorized op replaced."""
+    targets = np.asarray(targets, dtype=np.int64).ravel()
+    neighbors = np.asarray(neighbors, dtype=np.int64).ravel()
+    nt = targets.shape[0]
+    sub_id = {int(t): i for i, t in enumerate(targets)}
+    suffix = sorted(set(neighbors.tolist()) - set(targets.tolist()))
+    for i, n in enumerate(suffix):
+        sub_id[n] = nt + i
+    unique_nodes = np.concatenate(
+        [targets, np.asarray(suffix, dtype=np.int64)]
+    )
+    ids = np.array(
+        [sub_id[int(n)] for n in neighbors], dtype=np.int64
+    )
+    counts = np.bincount(ids, minlength=unique_nodes.shape[0])
+    return unique_nodes, ids, counts.astype(np.int64)
+
+
+@given(
+    st.integers(min_value=0, max_value=40),
+    st.lists(st.integers(min_value=0, max_value=400), max_size=250),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_sort_unique_vectorized_matches_reference_loop(
+    nt, neighbor_list, seed
+):
+    """The np.isin/searchsorted implementation is exactly the old
+    per-element dict loop — same nodes, IDs and duplicate counts."""
+    rng = np.random.default_rng(seed)
+    targets = rng.choice(1500, size=nt, replace=False)
+    neighbors = np.array(neighbor_list, dtype=np.int64)
+    res = sort_based_append_unique(targets, neighbors)
+    ref_nodes, ref_ids, ref_counts = _reference_sort_unique(
+        targets, neighbors
+    )
+    assert np.array_equal(res.unique_nodes, ref_nodes)
+    assert np.array_equal(res.neighbor_subgraph_ids, ref_ids)
+    assert np.array_equal(res.duplicate_counts, ref_counts)
+    assert res.num_targets == nt
+
+
 def test_sort_and_hash_unique_same_node_sets():
     rng = np.random.default_rng(5)
     targets = rng.choice(500, size=20, replace=False)

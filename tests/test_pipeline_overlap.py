@@ -55,8 +55,11 @@ def test_overlap_phase_totals_record_full_work(pipeline_dataset):
     assert stats.times.sample > 0
     assert stats.times.gather > 0
     assert stats.times.train > 0
-    # overlap means wall time < sum of the recorded phase work
-    assert stats.epoch_time < stats.times.total
+    # overlap means wall time < sum of the recorded phase work (gradient
+    # sync is accounted separately under its own allreduce phases)
+    assert stats.epoch_time < (
+        stats.times.total + stats.allreduce + stats.allreduce_wait
+    )
 
 
 def test_overlap_per_epoch_override(pipeline_dataset):
