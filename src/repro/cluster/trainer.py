@@ -15,15 +15,21 @@ Fig. 13.
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 
 from repro import config
+from repro.faults import FaultInjector, FaultPlan, RankFailureError
 from repro.graph import MultiGpuGraphStore
 from repro.graph.datasets import SyntheticDataset
 from repro.hardware import SimNode
 from repro.nn.models import build_model
 from repro.nn.optim import Adam
 from repro.ops.neighbor_sampler import NeighborSampler
+from repro.telemetry import metrics
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
 from repro.train.ddp import GradSyncModel
 from repro.train.pipeline import (
     PipelinedExecutor,
@@ -51,6 +57,9 @@ class ClusterTrainer:
         overlap: bool = False,
         bucket_cap_mb: float | None = None,
         overlap_grad_sync: bool = True,
+        fault_plan: FaultPlan | None = None,
+        recovery_policy: str = "shrink",
+        checkpoint_dir: str | None = None,
     ):
         """``overlap=True`` selects the double-buffered schedule on every
         machine node: each node prefetches its next batch's sample+gather
@@ -59,7 +68,15 @@ class ClusterTrainer:
 
         ``bucket_cap_mb`` / ``overlap_grad_sync`` configure the bucketed
         hierarchical gradient synchronisation (intra-node NVLink ring plus
-        an inter-node IB ring per bucket); both are pure timing knobs."""
+        an inter-node IB ring per bucket); both are pure timing knobs.
+
+        ``fault_plan`` injects scheduled faults (:mod:`repro.faults`); a
+        rank failure takes its whole machine node (replica) down.
+        ``recovery_policy="shrink"`` (default) drops the dead node and
+        continues data-parallel over the survivors — replicas are already
+        in sync, so no state moves; ``"restart"`` reloads the last
+        epoch-boundary checkpoint into every replica and re-runs the epoch
+        (the failed node's process is assumed restarted in place)."""
         if num_machine_nodes < 1:
             raise ValueError("need at least one machine node")
         if fanouts is None:
@@ -115,6 +132,43 @@ class ClusterTrainer:
             for i in range(num_machine_nodes)
         ]
         self._epoch = 0
+
+        # -- fault injection & recovery ------------------------------------
+        if recovery_policy not in ("restart", "shrink"):
+            raise ValueError("recovery_policy must be 'restart' or 'shrink'")
+        self.recovery_policy = recovery_policy
+        self.fault_plan = fault_plan
+        self.fault_injector = None
+        self._checkpoint_dir = checkpoint_dir
+        #: recovery actions taken so far (time, nodes, policy, cost)
+        self.recoveries: list[dict] = []
+        if fault_plan is not None and fault_plan:
+            self.fault_injector = FaultInjector(fault_plan).install(
+                self.nodes
+            )
+            if self._needs_checkpoints():
+                self._save_checkpoint()
+
+    def _needs_checkpoints(self) -> bool:
+        from repro.faults import RankFailure
+
+        return (
+            self.fault_injector is not None
+            and self.recovery_policy == "restart"
+            and bool(self.fault_plan.of_kind(RankFailure))
+        )
+
+    def _checkpoint_path(self) -> str:
+        if self._checkpoint_dir is None:
+            self._checkpoint_dir = tempfile.mkdtemp(prefix="cluster-ckpt-")
+        os.makedirs(self._checkpoint_dir, exist_ok=True)
+        return os.path.join(self._checkpoint_dir, "latest.npz")
+
+    def _save_checkpoint(self) -> None:
+        save_checkpoint(
+            self._checkpoint_path(), self.models[0], self.optimizers[0],
+            epoch=self._epoch,
+        )
 
     def _grad_nbytes(self) -> int:
         return sum(p.data.nbytes for p in self.models[0].parameters())
@@ -181,63 +235,189 @@ class ClusterTrainer:
         if max_iterations is not None:
             batches = batches[: max_iterations * self.num_machine_nodes]
 
-        t_starts = [node.sync() for node in self.nodes]
-        losses = []
-        # round-robin: step s processes batches[s*k : (s+1)*k] concurrently
-        k = self.num_machine_nodes
-        executors = (
-            [
-                PipelinedExecutor(self.stores[i], self.samplers[i], rank=0)
-                for i in range(k)
-            ]
-            if self.overlap
-            else None
-        )
-        for s in range(0, len(batches), k):
-            group = batches[s : s + k]
-            producers = []
-            for i, batch in enumerate(group):
-                if self.overlap:
-                    loss, train_t = self._overlapped_node_step(
-                        executors[i], i, batch, batches, s + k + i
+        t_start = max(node.sync() for node in self.nodes)
+        losses: list[float] = []
+        executors = self._make_executors() if self.overlap else None
+        # round-robin: one step processes batches[cursor : cursor+k]
+        # concurrently; the cursor loop (instead of a fixed-stride range)
+        # lets a mid-epoch recovery change k or replay the epoch
+        cursor = 0
+        while cursor < len(batches):
+            k = self.num_machine_nodes
+            group = batches[cursor : cursor + k]
+            try:
+                producers = []
+                for i, batch in enumerate(group):
+                    if self.overlap:
+                        loss, train_t = self._overlapped_node_step(
+                            executors[i], i, batch, batches, cursor + k + i
+                        )
+                        losses.append(loss)
+                        producers.append(
+                            (self.nodes[i].gpu_clock[0].now, train_t)
+                        )
+                        continue
+                    res = run_iteration(
+                        self.stores[i], self.samplers[i], self.models[i],
+                        batch, 0, self.rngs.rank(i),
+                        optimizer=None, compute_grads=True,
+                        charge_train=True,
+                        model_rng=self._model_rngs[i],
                     )
-                    losses.append(loss)
+                    losses.append(res.loss)
+                    # symmetric intra-node ranks
+                    node = self.nodes[i]
+                    for r in range(1, node.num_gpus):
+                        clk = node.gpu_clock[r]
+                        clk.advance(res.times.sample, phase="sample")
+                        clk.advance(res.times.gather, phase="gather")
+                        clk.advance(res.times.train, phase="train")
                     producers.append(
-                        (self.nodes[i].gpu_clock[0].now, train_t)
+                        (node.gpu_clock[0].now, res.times.train)
                     )
-                    continue
-                res = run_iteration(
-                    self.stores[i], self.samplers[i], self.models[i],
-                    batch, 0, self.rngs.rank(i),
-                    optimizer=None, compute_grads=True, charge_train=True,
-                    model_rng=self._model_rngs[i],
-                )
-                losses.append(res.loss)
-                # symmetric intra-node ranks
-                node = self.nodes[i]
-                for r in range(1, node.num_gpus):
-                    clk = node.gpu_clock[r]
-                    clk.advance(res.times.sample, phase="sample")
-                    clk.advance(res.times.gather, phase="gather")
-                    clk.advance(res.times.train, phase="train")
-                producers.append((node.gpu_clock[0].now, res.times.train))
-            # global bucketed sync: averages the gradients functionally,
-            # then charges the hierarchical (NVLink + IB) schedule — nodes
-            # that got no batch this step stall at the collective barrier
-            self._average_gradients()
-            self.grad_sync.charge(producers, phase="allreduce")
-            for opt in self.optimizers:
-                opt.step()
+                # global bucketed sync: averages the gradients
+                # functionally, then charges the hierarchical (NVLink +
+                # IB) schedule — nodes that got no batch this step stall
+                # at the collective barrier
+                self._average_gradients()
+                self.grad_sync.charge(producers, phase="allreduce")
+                for opt in self.optimizers:
+                    opt.step()
+                cursor += len(group)
+                self._poll_faults()
+            except RankFailureError as exc:
+                cursor, losses = self._recover(exc, cursor, losses)
+                if self.overlap:
+                    # staged prefetches target pre-failure batch indexes;
+                    # rebuild and pay a fresh pipeline prologue
+                    executors = self._make_executors()
         t_end = max(node.sync() for node in self.nodes)
         self._epoch += 1
         stats = {
             "epoch": self._epoch - 1,
             "mean_loss": float(np.mean(losses)) if losses else float("nan"),
             "iterations": len(batches),
-            "epoch_time": t_end - max(t_starts),
+            "epoch_time": t_end - t_start,
         }
         self.history.append(stats)
+        if self._needs_checkpoints():
+            self._save_checkpoint()
         return stats
+
+    def _make_executors(self) -> list[PipelinedExecutor]:
+        return [
+            PipelinedExecutor(self.stores[i], self.samplers[i], rank=0)
+            for i in range(self.num_machine_nodes)
+        ]
+
+    # -- fault polling & recovery -------------------------------------------------
+
+    def _now(self) -> float:
+        return max(c.now for node in self.nodes for c in node.gpu_clock)
+
+    def _poll_faults(self) -> None:
+        """Detect due permanent failures on any machine node."""
+        if self.fault_injector is not None:
+            self.fault_injector.poll_rank_failures(self._now())
+
+    def _recover(
+        self, exc: RankFailureError, cursor: int, losses: list[float]
+    ) -> tuple[int, list[float]]:
+        """Run the configured recovery policy after a machine-node loss."""
+        t_fail = self._now()
+        if self.recovery_policy == "shrink":
+            self._recover_shrink(exc)
+        else:
+            self._recover_restart()
+            cursor = 0
+            losses.clear()
+        t_after = self._now()
+        record = {
+            "time": t_fail,
+            "nodes": sorted({n for n, _ in exc.ranks}),
+            "policy": self.recovery_policy,
+            "recovery_seconds": t_after - t_fail,
+            "num_machine_nodes": self.num_machine_nodes,
+        }
+        self.recoveries.append(record)
+        metrics.get_registry().counter(
+            "recovery_seconds", policy=self.recovery_policy
+        ).inc(t_after - t_fail)
+        return cursor, losses
+
+    def _charge_recovery(self, node_indices, extra_dt: float = 0.0) -> None:
+        t_fail = self._now()
+        dt = (
+            config.FAULT_DETECT_SECONDS
+            + config.COMM_REINIT_SECONDS
+            + extra_dt
+        )
+        for i in node_indices:
+            node = self.nodes[i]
+            for clock in node.gpu_clock:
+                clock.wait_until(
+                    t_fail, phase="recovery_wait", category="fault"
+                )
+                clock.advance(
+                    dt, phase="recovery", busy=False, category="fault",
+                    args={"policy": self.recovery_policy},
+                )
+            node.sync(phase="recovery_wait")
+
+    def _recover_shrink(self, exc: RankFailureError) -> None:
+        """Drop the failed machine node(s); survivors continue in sync.
+
+        Replicas are identical at every optimizer step, so no state moves —
+        the survivors only pay failure detection and communicator re-init,
+        and the gradient sync re-buckets over the remaining nodes.
+        """
+        dead = {n for n, _ in exc.ranks}
+        keep = [
+            i for i, node in enumerate(self.nodes)
+            if node.node_id not in dead
+        ]
+        if not keep:
+            raise exc  # no surviving replica to continue with
+        self._charge_recovery(keep)
+        for name in (
+            "nodes", "stores", "samplers", "models", "optimizers",
+            "_model_rngs",
+        ):
+            setattr(
+                self, name, [getattr(self, name)[i] for i in keep]
+            )
+        self.num_machine_nodes = len(keep)
+        self.grad_sync = GradSyncModel(
+            self.nodes,
+            [p.data.nbytes for p in self.models[0].parameters()],
+            bucket_cap_mb=self.grad_sync.bucket_cap_mb,
+            overlap=self.grad_sync.overlap,
+        )
+        if self.fault_injector is not None:
+            self.fault_injector.install(self.nodes)
+
+    def _recover_restart(self) -> None:
+        """Reload the last epoch-boundary checkpoint into every replica.
+
+        The failed node's process is assumed restarted on the same
+        hardware: every node pays detection + re-init + the PCIe reload of
+        the checkpointed model+optimizer state, then the epoch re-runs.
+        """
+        from repro.hardware import costmodel
+
+        state_bytes = 3 * sum(
+            p.data.nbytes for p in self.models[0].parameters()
+        )
+        self._charge_recovery(
+            range(self.num_machine_nodes),
+            extra_dt=costmodel.pcie_host_to_gpu_time(
+                state_bytes, shared=False
+            ),
+        )
+        path = self._checkpoint_path()
+        if os.path.exists(path):
+            for model, opt in zip(self.models, self.optimizers):
+                load_checkpoint(path, model, opt)
 
     def run_report(self, name: str = "cluster",
                    accuracy: float | None = None,
@@ -251,8 +431,10 @@ class ClusterTrainer:
             "node_epoch_times": [
                 max(c.now for c in node.gpu_clock) for node in self.nodes
             ],
+            "recoveries": list(self.recoveries),
         }
         merged.update(extra or {})
+        plan = self.fault_plan
         return report_from_node(
             name,
             self.nodes[0],
@@ -266,6 +448,10 @@ class ClusterTrainer:
                 "bucket_cap_mb": self.grad_sync.bucket_cap_mb,
                 "overlap_grad_sync": self.grad_sync.overlap,
                 "grad_buckets": self.grad_sync.num_buckets,
+                "fault_plan": (
+                    plan.to_config() if plan is not None and plan else None
+                ),
+                "recovery_policy": self.recovery_policy,
             },
             seed=self.seed,
             feature_stats=getattr(

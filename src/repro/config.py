@@ -250,6 +250,31 @@ DSM_SETUP_BASE = 8 * MS
 DSM_SETUP_PER_GB = 1.5 * MS
 
 # ---------------------------------------------------------------------------
+# Fault injection & recovery  [fit]
+# ---------------------------------------------------------------------------
+# Used by :mod:`repro.faults` and the trainer recovery policies.  All values
+# are simulated-time costs; none affect functional results.
+
+#: Requester-side timeout before re-issuing a gather whose reply was lost.
+#: [fit: a few RTTs over NVLink/NVSwitch at gather-message granularity]
+GATHER_RETRY_TIMEOUT = 50 * US
+
+#: Multiplicative backoff applied to the timeout on every further retry.
+GATHER_RETRY_BACKOFF = 2.0
+
+#: Maximum retries before a gather is treated as a permanent failure.
+GATHER_RETRY_MAX = 5
+
+#: Watchdog delay between a rank dying and the survivors detecting it
+#: (missed NCCL heartbeats).  [fit]
+FAULT_DETECT_SECONDS = 1 * MS
+
+#: Cost of tearing down and re-initialising the communicator / NCCL ranks
+#: after a membership change (restart or shrink).  [fit: NCCL comm init is
+#: O(ms) per rank]
+COMM_REINIT_SECONDS = 2 * MS
+
+# ---------------------------------------------------------------------------
 # Training hyper-parameters used throughout the evaluation  [paper §IV]
 # ---------------------------------------------------------------------------
 

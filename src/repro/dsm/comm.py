@@ -36,16 +36,24 @@ class Communicator:
             latency if latency is not None else node.spec.nvlink.latency
         )
 
+    def _effective_bandwidth(self, t: float) -> float:
+        """Bandwidth at simulated time ``t``, after any injected fabric
+        degradation (:mod:`repro.faults`).  Healthy nodes skip the lookup."""
+        injector = self.node.fault_injector
+        if injector is None:
+            return self.bandwidth
+        return self.bandwidth / injector.link_slowdown(t, self.node.node_id)
+
     # -- point to point --------------------------------------------------------
 
     def send_recv(self, data: np.ndarray, src: int, dst: int,
                   phase: str = "comm") -> np.ndarray:
         """Explicit send from ``src`` to ``dst``; both ranks are charged."""
         data = np.asarray(data)
-        t = costmodel.stream_transfer_time(
-            data.nbytes, self.bandwidth, self.latency
-        )
         start = max(self.node.gpu_clock[src].now, self.node.gpu_clock[dst].now)
+        t = costmodel.stream_transfer_time(
+            data.nbytes, self._effective_bandwidth(start), self.latency
+        )
         self.node.gpu_clock[src].wait_until(start)
         self.node.gpu_clock[dst].wait_until(start)
         self.node.gpu_clock[src].advance(t, phase=phase)
@@ -66,9 +74,10 @@ class Communicator:
         """
         self._check_ranks(per_rank_objects)
         self._enter()
+        bw = self._effective_bandwidth(self.node.gpu_clock[0].now)
         t = (
             (self.num_ranks - 1) * self.latency
-            + (self.num_ranks - 1) * nbytes_each / self.bandwidth
+            + (self.num_ranks - 1) * nbytes_each / bw
         )
         for clock in self.node.gpu_clock:
             clock.advance(t, phase=phase)
@@ -95,17 +104,23 @@ class Communicator:
             [np.asarray(send[src][dst]).copy() for src in range(self.num_ranks)]
             for dst in range(self.num_ranks)
         ]
+        bw = self._effective_bandwidth(self.node.gpu_clock[0].now)
         for rank in range(self.num_ranks):
             traffic = max(out_bytes[rank], in_bytes[rank])
-            t = (self.num_ranks - 1) * self.latency + traffic / self.bandwidth
+            t = (self.num_ranks - 1) * self.latency + traffic / bw
             self.node.gpu_clock[rank].advance(t, phase=phase)
         self.node.sync()
         return recv
 
-    def ring_time(self, nbytes: float) -> float:
-        """Chunked-ring all-reduce duration for one payload of ``nbytes``."""
+    def ring_time(self, nbytes: float, at: float | None = None) -> float:
+        """Chunked-ring all-reduce duration for one payload of ``nbytes``.
+
+        ``at`` prices the ring at a given simulated time (injected fabric
+        degradation is time-windowed); default is spec bandwidth.
+        """
+        bw = self.bandwidth if at is None else self._effective_bandwidth(at)
         return costmodel.chunked_ring_allreduce_time(
-            nbytes, self.num_ranks, self.bandwidth, self.latency
+            nbytes, self.num_ranks, bw, self.latency
         )
 
     def allreduce(
@@ -123,7 +138,7 @@ class Communicator:
         for a in per_rank_arrays[1:]:
             total = total + a
         result = total.astype(per_rank_arrays[0].dtype)
-        t = self.ring_time(result.nbytes)
+        t = self.ring_time(result.nbytes, at=self.node.gpu_clock[0].now)
         for clock in self.node.gpu_clock:
             clock.advance(t, phase=phase, category="comm",
                           args={"nbytes": int(result.nbytes)})
@@ -136,7 +151,9 @@ class Communicator:
         self._enter()
         steps = max(1, int(np.ceil(np.log2(max(self.num_ranks, 2)))))
         t = steps * costmodel.stream_transfer_time(
-            data.nbytes, self.bandwidth, self.latency
+            data.nbytes,
+            self._effective_bandwidth(self.node.gpu_clock[0].now),
+            self.latency,
         )
         for clock in self.node.gpu_clock:
             clock.advance(t, phase=phase)

@@ -215,6 +215,16 @@ class WholeTensor:
             remote_fraction=remote,
         )
         clock = self.node.gpu_clock[rank]
+        injector = self.node.fault_injector
+        if injector is not None:
+            # degraded fabric slows only the NVLink-crossing share; lost
+            # replies cost timeout+backoff stalls before the re-issue lands
+            t = injector.scale_gather_time(
+                t, remote, clock.now, self.node.node_id
+            )
+            injector.charge_gather_retries(
+                clock, phase="gather_retry", node_id=self.node.node_id
+            )
         clock.advance(
             t, phase=phase, category="gather",
             args={"rows": int(rows.size), "bytes": int(total_bytes),

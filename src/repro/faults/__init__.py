@@ -1,0 +1,27 @@
+"""Schedule-driven fault injection and recovery for the simulation."""
+
+from repro.faults.injector import (
+    FAULT_DEVICE,
+    FaultInjector,
+    RankFailureError,
+)
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    GatherReplyLoss,
+    LinkDegradation,
+    RankFailure,
+    StragglerGpu,
+)
+
+__all__ = [
+    "FAULT_DEVICE",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "GatherReplyLoss",
+    "LinkDegradation",
+    "RankFailure",
+    "RankFailureError",
+    "StragglerGpu",
+]

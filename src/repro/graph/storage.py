@@ -67,6 +67,10 @@ class MultiGpuGraphStore:
         self.feature_location = feature_location
         self.node = node
         self.dataset = dataset
+        # kept for rebuild_on (elastic shrink re-shards onto a new node)
+        self._seed = int(seed)
+        self._cache_ratio = float(cache_ratio)
+        self._cache_policy = cache_policy
         graph = dataset.graph
         self.num_nodes = graph.num_nodes
         self.num_edges = graph.num_edges
@@ -229,6 +233,32 @@ class MultiGpuGraphStore:
         return self.edge_weight_tensor.gather(
             edge_positions, rank, phase=phase
         ).ravel()
+
+    # -- elastic recovery ------------------------------------------------------------
+
+    def rebuild_on(
+        self, node: SimNode, charge_setup: bool = True
+    ) -> "MultiGpuGraphStore":
+        """Re-shard this store's dataset onto ``node`` (elastic shrink).
+
+        Builds a fresh :class:`MultiGpuGraphStore` with the same dataset,
+        seed and cache configuration but ``node``'s (typically smaller) GPU
+        count — WholeMemory is re-partitioned and features reloaded, and the
+        DSM setup + PCIe load costs are charged to the new node's clocks
+        when ``charge_setup`` is on.  Note the hash partition depends on the
+        GPU count, so stored IDs are *not* comparable across the rebuild;
+        translate via ``old.partition.to_original`` then
+        ``new.partition.to_stored``.
+        """
+        return MultiGpuGraphStore(
+            node,
+            self.dataset,
+            seed=self._seed,
+            charge_setup=charge_setup,
+            feature_location=self.feature_location,
+            cache_ratio=self._cache_ratio,
+            cache_policy=self._cache_policy,
+        )
 
     # -- memory accounting (Table IV) -----------------------------------------------
 

@@ -101,6 +101,9 @@ class SimClock:
         self.device = device
         self.now = 0.0
         self.timeline = timeline
+        #: optional ``(dt, phase, now) -> dt`` hook that dilates busy time —
+        #: how straggler-GPU faults slow one device without touching any op
+        self.scale_hook = None
 
     def advance(
         self,
@@ -113,6 +116,8 @@ class SimClock:
         """Advance by ``dt`` seconds, logging a span; returns new ``now``."""
         if dt < 0:
             raise ValueError(f"cannot advance clock by negative dt={dt}")
+        if self.scale_hook is not None and busy and dt > 0:
+            dt = self.scale_hook(dt, phase, self.now)
         start = self.now
         self.now = start + dt
         if self.timeline is not None and dt > 0:

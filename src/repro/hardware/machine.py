@@ -37,6 +37,9 @@ class SimNode:
         #: host DRAM ledger (DGX-A100 ships 1-2 TB; we model 1 TB) — used by
         #: host-pinned WholeMemory placements
         self.host_memory = DeviceMemory(prefix + HOST, 1 << 40)
+        #: set by :meth:`repro.faults.FaultInjector.install`; ``None`` on a
+        #: healthy node (the common case — comm paths check before consulting)
+        self.fault_injector = None
 
     @property
     def num_gpus(self) -> int:

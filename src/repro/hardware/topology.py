@@ -47,6 +47,9 @@ class Topology:
 
     def __init__(self) -> None:
         self.graph = nx.Graph()
+        #: per-link bandwidth degradation factors (fault injection): a link
+        #: named here delivers ``spec.bandwidth / factor``
+        self.degradation: dict[str, float] = {}
 
     def add_endpoint(self, name: str, kind: str) -> None:
         self.graph.add_node(name, kind=kind)
@@ -76,8 +79,30 @@ class Topology:
         bws = []
         for link in self.path(src, dst):
             share = link.max_sharers if concurrent else 1
-            bws.append(link.spec.bandwidth / share)
+            bw = link.spec.bandwidth / share
+            bw /= self.degradation.get(link.name, 1.0)
+            bws.append(bw)
         return min(bws)
+
+    def degrade(self, link_name: str, factor: float) -> None:
+        """Degrade one named link's bandwidth to ``1/factor`` of spec.
+
+        Factors compose multiplicatively; ``factor=1`` is a no-op.
+        """
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        self.degradation[link_name] = (
+            self.degradation.get(link_name, 1.0) * factor
+        )
+
+    def clear_degradation(self) -> None:
+        self.degradation.clear()
+
+    def link_names(self) -> list[str]:
+        """All physical link names in the topology (degradation targets)."""
+        return [
+            d["link"].name for _, _, d in self.graph.edges(data=True)
+        ]
 
     def latency(self, src: str, dst: str) -> float:
         """Sum of per-hop message latencies along the route."""
@@ -89,7 +114,9 @@ def build_dgx_topology(spec: NodeSpec) -> Topology:
     topo = Topology()
     topo.add_endpoint(HOST, kind="host")
     topo.add_endpoint(NVSWITCH, kind="switch")
-    num_switches = max(1, spec.num_gpus // spec.gpus_per_pcie_switch)
+    # ceil division: an odd GPU count (elastic shrink leaves e.g. 7 GPUs)
+    # still needs a switch for the unpaired GPU
+    num_switches = max(1, -(-spec.num_gpus // spec.gpus_per_pcie_switch))
     for s in range(num_switches):
         sw = f"pcie_sw{s}"
         topo.add_endpoint(sw, kind="switch")

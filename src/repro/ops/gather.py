@@ -147,6 +147,16 @@ def distributed_memory_gather(
     # ---- step 4: alltoallv the features back ----------------------------------
     feature_replies = comm.alltoallv(replies, phase=phase)
     # feature_replies[requester][home]
+    injector = node.fault_injector
+    if injector is not None:
+        # the reply leg is where transient loss bites: each requester whose
+        # reply went missing stalls for timeout+backoff before the re-issue
+        for requester in range(nr):
+            injector.charge_gather_retries(
+                node.gpu_clock[requester],
+                phase="gather_retry",
+                node_id=node.node_id,
+            )
     t4 = step_mark()
     trace.step_times["alltoallv_features"] = t4 - t3
     # sum the actual reply payloads each requester received (requests can be

@@ -23,6 +23,41 @@ from repro.telemetry.metrics import MetricsRegistry
 
 SCHEMA_VERSION = 1
 
+#: Report keys that are *allowed* to differ between two runs of the same
+#: seed — the documented volatile set of the determinism contract (DESIGN.md
+#: §8).  Everything outside this set must be byte-identical, which
+#: ``tests/test_determinism_golden.py`` enforces.  The simulation is fully
+#: deterministic today, so the set holds only host-environment escape
+#: hatches: fields callers may stamp with wall-clock times or file paths.
+VOLATILE_KEYS = frozenset({
+    "wall_time_seconds",
+    "timestamp",
+    "hostname",
+    "report_path",
+})
+
+
+def scrub_report(report: dict, volatile=VOLATILE_KEYS) -> dict:
+    """Strip volatile keys from a report dict, recursively.
+
+    Returns a new dict with every key in ``volatile`` removed at any
+    nesting depth — the comparable core two same-seed runs must agree on.
+    Accepts a :class:`RunReport` or a plain (JSON-loaded) dict.
+    """
+    if isinstance(report, RunReport):
+        report = report.to_dict()
+
+    def scrub(obj):
+        if isinstance(obj, dict):
+            return {
+                k: scrub(v) for k, v in obj.items() if k not in volatile
+            }
+        if isinstance(obj, list):
+            return [scrub(v) for v in obj]
+        return obj
+
+    return scrub(report)
+
 
 def json_safe(obj):
     """Recursively convert numpy scalars/arrays and dataclasses to JSON."""

@@ -151,7 +151,17 @@ class GradSyncModel:
                  max(0.0, t) * config.TRAIN_BACKWARD_FRACTION)
                 for now, t in producers
             ]
-        plan = self.plan(rel)
+        slowdown = max(
+            (n.fault_injector.link_slowdown(sync_point, n.node_id)
+             for n in self.nodes if n.fault_injector is not None),
+            default=1.0,
+        )
+        if slowdown > 1.0:
+            # degraded fabric at the sync point stretches every bucket ring
+            times = [t * slowdown for t in self.bucket_times]
+            plan = plan_grad_sync(self.bucket_nbytes, times, rel)
+        else:
+            plan = self.plan(rel)
         charge_grad_sync(self.nodes, plan, phase=phase)
         return plan
 

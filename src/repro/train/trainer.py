@@ -15,17 +15,24 @@ Two execution modes:
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro import config
 from repro.dsm.comm import Communicator
+from repro.faults import FaultInjector, FaultPlan, RankFailureError
+from repro.hardware import costmodel
+from repro.hardware.machine import SimNode
+from repro.hardware.spec import dgx_a100
 from repro.nn.models import build_model
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 from repro.ops.neighbor_sampler import NeighborSampler
 from repro.telemetry import metrics
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
 from repro.train.ddp import DistributedDataParallel, GradSyncModel
 from repro.train.metrics import PhaseTimes
 from repro.train.pipeline import PipelinedExecutor, run_iteration, train_batch
@@ -79,6 +86,9 @@ class WholeGraphTrainer:
         overlap: bool = False,
         bucket_cap_mb: float | None = None,
         overlap_grad_sync: bool = True,
+        fault_plan: FaultPlan | None = None,
+        recovery_policy: str = "restart",
+        checkpoint_dir: str | None = None,
     ):
         """``layer_cost_factor`` scales the simulated *training-compute* time
         — 1.0 for WholeGraph's fused layers, >1 when the model is built from
@@ -96,7 +106,18 @@ class WholeGraphTrainer:
         <= 0 forces one flat bucket) and ``overlap_grad_sync`` toggles
         hiding each bucket's all-reduce behind the backward pass — both are
         pure *timing* knobs, the trained weights are bit-identical either
-        way."""
+        way.
+
+        ``fault_plan`` injects scheduled faults (:mod:`repro.faults`) into
+        the run; a ``None`` or empty plan takes the exact fault-free code
+        path.  ``recovery_policy`` selects how permanent rank failures are
+        survived: ``"restart"`` reloads the last epoch-boundary checkpoint
+        (written to ``checkpoint_dir``, or a temp dir) and re-runs the
+        epoch on a replacement GPU; ``"shrink"`` re-shards WholeMemory
+        across the surviving GPUs, re-buckets the gradient sync, and
+        continues the epoch where it stopped (symmetric modes only).
+        Transient faults (degraded links, stragglers, gather reply loss)
+        never change the trained weights — only simulated time."""
         self.store = store
         self.node = store.node
         self.model_name = model_name
@@ -162,6 +183,46 @@ class WholeGraphTrainer:
         self._epoch = 0
         self.history: list[EpochStats] = []
 
+        # -- fault injection & recovery ------------------------------------
+        if recovery_policy not in ("restart", "shrink"):
+            raise ValueError("recovery_policy must be 'restart' or 'shrink'")
+        if recovery_policy == "shrink" and compute_ranks == "all":
+            raise ValueError(
+                "elastic shrink re-shards the symmetric store; use "
+                "recovery_policy='restart' with compute_ranks='all'"
+            )
+        self.recovery_policy = recovery_policy
+        self.fault_plan = fault_plan
+        self.fault_injector = None
+        self._checkpoint_dir = checkpoint_dir
+        #: recovery actions taken so far (time, ranks, policy, cost)
+        self.recoveries: list[dict] = []
+        if fault_plan is not None and fault_plan:
+            self.fault_injector = FaultInjector(fault_plan).install(self.node)
+            if self._needs_checkpoints():
+                self._save_checkpoint()
+
+    def _needs_checkpoints(self) -> bool:
+        from repro.faults import RankFailure
+
+        return (
+            self.fault_injector is not None
+            and self.recovery_policy == "restart"
+            and bool(self.fault_plan.of_kind(RankFailure))
+        )
+
+    def _checkpoint_path(self) -> str:
+        if self._checkpoint_dir is None:
+            self._checkpoint_dir = tempfile.mkdtemp(prefix="wg-ckpt-")
+        os.makedirs(self._checkpoint_dir, exist_ok=True)
+        return os.path.join(self._checkpoint_dir, "latest.npz")
+
+    def _save_checkpoint(self) -> None:
+        save_checkpoint(
+            self._checkpoint_path(), self.model, self.optimizer,
+            epoch=self._epoch,
+        )
+
     # -- training ---------------------------------------------------------------------
 
     def _epoch_batches(self) -> list[np.ndarray]:
@@ -190,26 +251,59 @@ class WholeGraphTrainer:
                 "the pipelined schedule runs in the symmetric mode only"
             )
         self.model.train()
-        node = self.node
         batches = self._epoch_batches()
         if max_iterations is not None:
             batches = batches[:max_iterations]
-        t_epoch_start = node.sync()
-        dev0 = node.gpu_memory[0].device
-        ar0 = node.timeline.phase_total("allreduce", dev0)
-        aw0 = node.timeline.phase_total("allreduce_wait", dev0)
-        hid0 = metrics.get_registry().total("grad_sync_hidden_seconds_total")
+        t_epoch_start = self.node.sync()
         losses: list[float] = []
         phase_totals = PhaseTimes()
-
-        if overlap:
-            losses = self._epoch_pipelined(batches, phase_totals)
-        else:
-            for it, batch in enumerate(batches):
-                if self.compute_ranks == "all":
-                    losses.append(self._step_all_ranks(batch, it))
+        cursor = 0
+        # grad-sync accumulators survive a mid-epoch recovery (a shrink
+        # replaces the node and its timeline, so deltas are per attempt)
+        ar_acc = aw_acc = hid_acc = 0.0
+        while True:
+            node = self.node
+            dev0 = node.gpu_memory[0].device
+            ar0 = node.timeline.phase_total("allreduce", dev0)
+            aw0 = node.timeline.phase_total("allreduce_wait", dev0)
+            hid0 = metrics.get_registry().total(
+                "grad_sync_hidden_seconds_total"
+            )
+            done_before = len(losses)
+            try:
+                if overlap:
+                    self._epoch_pipelined(
+                        batches[cursor:], phase_totals, losses
+                    )
+                    cursor = len(batches)
                 else:
-                    losses.append(self._step_symmetric(batch, phase_totals))
+                    while cursor < len(batches):
+                        batch = batches[cursor]
+                        if self.compute_ranks == "all":
+                            loss = self._step_all_ranks(batch, cursor)
+                        else:
+                            loss = self._step_symmetric(batch, phase_totals)
+                        losses.append(loss)
+                        cursor += 1
+                        self._poll_faults()
+                break
+            except RankFailureError as exc:
+                if overlap:
+                    cursor += len(losses) - done_before
+                ar_acc += node.timeline.phase_total("allreduce", dev0) - ar0
+                aw_acc += (
+                    node.timeline.phase_total("allreduce_wait", dev0) - aw0
+                )
+                hid_acc += (
+                    metrics.get_registry().total(
+                        "grad_sync_hidden_seconds_total"
+                    )
+                    - hid0
+                )
+                batches, cursor, losses = self._recover(
+                    exc, batches, cursor, losses
+                )
+        node = self.node
         t_epoch_end = node.sync()
 
         if self.compute_ranks == "all":
@@ -225,18 +319,169 @@ class WholeGraphTrainer:
             iterations=len(batches),
             times=phase_totals,
             epoch_time=t_epoch_end - t_epoch_start,
-            allreduce=node.timeline.phase_total("allreduce", dev0) - ar0,
+            allreduce=(
+                ar_acc + node.timeline.phase_total("allreduce", dev0) - ar0
+            ),
             allreduce_wait=(
-                node.timeline.phase_total("allreduce_wait", dev0) - aw0
+                aw_acc
+                + node.timeline.phase_total("allreduce_wait", dev0)
+                - aw0
             ),
             allreduce_hidden=(
-                metrics.get_registry().total("grad_sync_hidden_seconds_total")
+                hid_acc
+                + metrics.get_registry().total(
+                    "grad_sync_hidden_seconds_total"
+                )
                 - hid0
             ),
         )
         self._epoch += 1
         self.history.append(stats)
+        if self._needs_checkpoints():
+            self._save_checkpoint()
         return stats
+
+    # -- fault polling & recovery -------------------------------------------------
+
+    def _poll_faults(self) -> None:
+        """Detect due permanent failures (raises :class:`RankFailureError`).
+
+        Called at iteration boundaries — the granularity at which a real
+        DDP run notices a dead peer (the next collective hangs).
+        """
+        injector = self.node.fault_injector
+        if injector is not None:
+            injector.poll_rank_failures(
+                max(c.now for c in self.node.gpu_clock),
+                node_id=self.node.node_id,
+            )
+
+    def _recover(
+        self,
+        exc: RankFailureError,
+        batches: list[np.ndarray],
+        cursor: int,
+        losses: list[float],
+    ) -> tuple[list[np.ndarray], int, list[float]]:
+        """Run the configured recovery policy after a rank failure.
+
+        Returns the (possibly translated) batches plus the batch cursor and
+        loss list to resume with; every recovery lands in ``recoveries``,
+        the ``recovery_seconds`` metric, and the trace.
+        """
+        t_fail = max(c.now for c in self.node.gpu_clock)
+        if self.recovery_policy == "shrink":
+            batches = self._recover_shrink(exc, batches)
+        else:
+            self._recover_restart()
+            cursor = 0
+            losses.clear()
+        t_after = max(c.now for c in self.node.gpu_clock)
+        record = {
+            "time": t_fail,
+            "ranks": [list(r) for r in exc.ranks],
+            "policy": self.recovery_policy,
+            "recovery_seconds": t_after - t_fail,
+            "num_gpus": self.node.num_gpus,
+        }
+        self.recoveries.append(record)
+        metrics.get_registry().counter(
+            "recovery_seconds", policy=self.recovery_policy
+        ).inc(t_after - t_fail)
+        return batches, cursor, losses
+
+    def _recover_restart(self) -> None:
+        """Checkpoint-based restart: reload the last epoch-boundary state.
+
+        The failed GPU is replaced (same GPU count); all ranks pay failure
+        detection, communicator re-init, DSM re-establishment and the PCIe
+        reload of the checkpointed model+optimizer state, then the epoch
+        re-runs from its first batch.
+        """
+        node = self.node
+        t = max(c.now for c in node.gpu_clock)
+        # weights + two Adam moments ride PCIe back to the device
+        state_bytes = 3 * sum(
+            p.data.nbytes for p in self.model.parameters()
+        )
+        dt = (
+            config.FAULT_DETECT_SECONDS
+            + config.COMM_REINIT_SECONDS
+            + costmodel.dsm_setup_time(node.total_memory_usage())
+            + costmodel.pcie_host_to_gpu_time(state_bytes, shared=False)
+        )
+        for clock in node.gpu_clock:
+            clock.wait_until(t, phase="recovery_wait", category="fault")
+            clock.advance(
+                dt, phase="recovery", busy=False, category="fault",
+                args={"policy": "restart"},
+            )
+        node.sync(phase="recovery_wait")
+        path = self._checkpoint_path()
+        if os.path.exists(path):
+            load_checkpoint(path, self.model, self.optimizer)
+            if self.compute_ranks == "all":
+                for replica, opt in zip(
+                    self.replicas[1:], self.optimizers[1:]
+                ):
+                    load_checkpoint(path, replica, opt)
+
+    def _recover_shrink(
+        self, exc: RankFailureError, batches: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Elastic shrink: re-shard onto the surviving GPUs and continue.
+
+        Builds a replacement :class:`SimNode` with the survivors'
+        GPU count, fast-forwards its clocks to the failure time plus
+        detection/re-init, re-shards the graph store (WholeMemory setup and
+        feature reload are charged), re-buckets the gradient sync, and
+        translates the epoch's remaining batches into the new stored-ID
+        space.  Model and optimizer state survive in place — the symmetric
+        replica never lived on the failed GPU alone.
+        """
+        old_node = self.node
+        old_store = self.store
+        failed = {r for n, r in exc.ranks if n == old_node.node_id}
+        survivors = old_node.num_gpus - len(failed)
+        if survivors < 1:
+            raise exc  # nothing left to shrink onto
+        t_fail = max(c.now for c in old_node.gpu_clock)
+        new_node = SimNode(dgx_a100(survivors), node_id=old_node.node_id)
+        t0 = (
+            t_fail
+            + config.FAULT_DETECT_SECONDS
+            + config.COMM_REINIT_SECONDS
+        )
+        for clock in new_node.gpu_clock:
+            clock.wait_until(t0, phase="recovery_wait", category="fault")
+        new_node.host_clock.wait_until(
+            t0, phase="recovery_wait", category="fault"
+        )
+        # re-shard WholeMemory across the survivors (setup + PCIe reload
+        # are charged to the new clocks under dsm_setup/load)
+        new_store = old_store.rebuild_on(new_node, charge_setup=True)
+        # the hash partition depends on the GPU count: translate the
+        # remaining batches old-stored -> original -> new-stored
+        batches = [
+            new_store.partition.to_stored[
+                old_store.partition.to_original[batch]
+            ]
+            for batch in batches
+        ]
+        self.node = new_node
+        self.store = new_store
+        self.sampler = NeighborSampler(new_store, self.sampler.fanouts)
+        self.grad_sync = GradSyncModel(
+            new_node,
+            [p.data.size * p.data.itemsize
+             for p in self.model.parameters()],
+            bucket_cap_mb=self.grad_sync.bucket_cap_mb,
+            overlap=self.grad_sync.overlap,
+        )
+        if self.fault_injector is not None:
+            self.fault_injector.install(new_node)
+        new_node.sync(phase="recovery_wait")
+        return batches
 
     def _step_symmetric(self, batch: np.ndarray,
                         phase_totals: PhaseTimes) -> float:
@@ -262,20 +507,25 @@ class WholeGraphTrainer:
         return res.loss
 
     def _epoch_pipelined(self, batches: list[np.ndarray],
-                         phase_totals: PhaseTimes) -> list[float]:
+                         phase_totals: PhaseTimes,
+                         losses: list[float] | None = None) -> list[float]:
         """Double-buffered epoch: prefetch batch i+1 while batch i trains.
 
         Same math, same RNG stream consumption order as the sequential
         schedule — only the clock accounting overlaps: each iteration
         charges ``max(train_i, sample_{i+1}+gather_{i+1})``, with the first
         batch's prefetch fully exposed (the pipeline prologue).
+
+        ``losses`` (when given) is appended to in place, one entry per
+        *completed* batch — the recovery path uses its length as the batch
+        cursor when a rank failure interrupts the pipeline.
         """
         node = self.node
+        losses = [] if losses is None else losses
         if not batches:
-            return []
+            return losses
         executor = PipelinedExecutor(self.store, self.sampler, rank=0)
         sample_rng = self.rngs.rank(0)
-        losses: list[float] = []
 
         executor.prefetch(batches[0], sample_rng, mirror_ranks=True)
         phase_totals += PhaseTimes(
@@ -310,6 +560,7 @@ class WholeGraphTrainer:
             node.sync()
             losses.append(loss)
             phase_totals += PhaseTimes(train=train_t)
+            self._poll_faults()
         return losses
 
     def _step_all_ranks(self, batch: np.ndarray, it: int) -> float:
@@ -367,13 +618,22 @@ class WholeGraphTrainer:
                 "bucket_cap_mb": self.grad_sync.bucket_cap_mb,
                 "overlap_grad_sync": self.grad_sync.overlap,
                 "grad_buckets": self.grad_sync.num_buckets,
+                # the plan makes a recovered run reproducible from its
+                # manifest; None for both no-plan and empty-plan runs so
+                # the two stay byte-identical (determinism contract)
+                "fault_plan": (
+                    self.fault_plan.to_config()
+                    if self.fault_plan is not None and self.fault_plan
+                    else None
+                ),
+                "recovery_policy": self.recovery_policy,
             },
             seed=self.seed,
             feature_stats=getattr(self.store.feature_tensor, "stats", None),
             cache=self.store.feature_cache,
             accuracy=accuracy,
             history=[s.as_row() for s in self.history],
-            extra=extra,
+            extra={"recoveries": list(self.recoveries), **(extra or {})},
         )
 
     # -- inference --------------------------------------------------------------------

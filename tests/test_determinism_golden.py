@@ -1,0 +1,126 @@
+"""Golden determinism: two same-seed runs leave byte-identical artifacts.
+
+The simulation's determinism contract (DESIGN.md §8): given the same seeds
+and config, *everything* a run records — weights, clocks, metrics, the full
+run-report JSON — is reproduced bit-for-bit.  Only the documented
+``VOLATILE_KEYS`` (wall-clock stamps callers may add) are exempt, and
+``scrub_report`` strips exactly those.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.faults import FaultPlan, GatherReplyLoss, StragglerGpu
+from repro.graph import MultiGpuGraphStore
+from repro.hardware import SimNode
+from repro.telemetry import metrics
+from repro.telemetry.run_report import (
+    VOLATILE_KEYS,
+    RunReport,
+    scrub_report,
+)
+from repro.train import WholeGraphTrainer
+
+
+def _golden_run(dataset, fault_plan=None):
+    """One fully-isolated training run: fresh registry, node, store."""
+    prev = metrics.set_registry(metrics.MetricsRegistry())
+    try:
+        store = MultiGpuGraphStore(SimNode(), dataset, seed=0)
+        trainer = WholeGraphTrainer(
+            store, "graphsage", seed=3, batch_size=32, fanouts=[5, 5],
+            hidden=32, fault_plan=fault_plan,
+        )
+        for _ in range(2):
+            trainer.train_epoch(max_iterations=4)
+        report = trainer.run_report(accuracy=trainer.evaluate())
+        weights = [p.data.copy() for p in trainer.model.parameters()]
+        return report, weights
+    finally:
+        metrics.set_registry(prev)
+
+
+def _scrubbed_json(report: RunReport) -> str:
+    return json.dumps(scrub_report(report), sort_keys=True, indent=2)
+
+
+def test_same_seed_runs_are_byte_identical(medium_dataset):
+    r1, w1 = _golden_run(medium_dataset)
+    r2, w2 = _golden_run(medium_dataset)
+    for a, b in zip(w1, w2):
+        assert np.array_equal(a, b)
+    assert _scrubbed_json(r1) == _scrubbed_json(r2)
+
+
+def test_same_seed_fault_runs_are_byte_identical(medium_dataset):
+    """Fault injection is inside the determinism contract too: the
+    injector draws from its own plan-seeded stream, so a faulted run is
+    just as reproducible as a clean one."""
+    plan = FaultPlan(
+        events=[
+            StragglerGpu(rank=1, slowdown=2.0),
+            GatherReplyLoss(probability=0.5),
+        ],
+        seed=11,
+    )
+    r1, w1 = _golden_run(medium_dataset, plan)
+    r2, w2 = _golden_run(medium_dataset, plan)
+    for a, b in zip(w1, w2):
+        assert np.array_equal(a, b)
+    assert _scrubbed_json(r1) == _scrubbed_json(r2)
+
+
+def test_report_json_stable_through_disk_roundtrip(
+    medium_dataset, tmp_path
+):
+    report, _ = _golden_run(medium_dataset)
+    path = tmp_path / "run.json"
+    report.save(path)
+    loaded = RunReport.load(path)
+    assert _scrubbed_json(loaded) == _scrubbed_json(report)
+
+
+# -- scrub_report -------------------------------------------------------------------
+
+
+def test_scrub_report_strips_volatile_keys_at_any_depth():
+    report = {
+        "name": "x",
+        "wall_time_seconds": 1.23,
+        "config": {"timestamp": "now", "seed": 7},
+        "history": [
+            {"epoch": 0, "hostname": "gpu-box"},
+            {"epoch": 1},
+        ],
+        "extra": {"nested": {"report_path": "/tmp/r.json", "keep": 1}},
+    }
+    scrubbed = scrub_report(report)
+    assert scrubbed == {
+        "name": "x",
+        "config": {"seed": 7},
+        "history": [{"epoch": 0}, {"epoch": 1}],
+        "extra": {"nested": {"keep": 1}},
+    }
+    # the input is not mutated
+    assert "wall_time_seconds" in report
+
+
+def test_scrub_report_accepts_runreport_instances():
+    report = RunReport(name="r", extra={"timestamp": "now", "keep": True})
+    scrubbed = scrub_report(report)
+    assert scrubbed["extra"] == {"keep": True}
+    assert scrubbed["name"] == "r"
+
+
+def test_scrub_report_custom_volatile_set():
+    report = {"a": 1, "b": {"a": 2, "c": 3}}
+    assert scrub_report(report, volatile={"a"}) == {"b": {"c": 3}}
+
+
+def test_volatile_keys_is_the_documented_contract():
+    assert VOLATILE_KEYS == {
+        "wall_time_seconds", "timestamp", "hostname", "report_path",
+    }

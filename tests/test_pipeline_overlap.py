@@ -6,18 +6,9 @@ import numpy as np
 import pytest
 
 from repro.cluster.trainer import ClusterTrainer
-from repro.graph import MultiGpuGraphStore, load_dataset
+from repro.graph import MultiGpuGraphStore
 from repro.hardware import SimNode
 from repro.train import WholeGraphTrainer
-
-
-@pytest.fixture(scope="module")
-def pipeline_dataset():
-    # enough train nodes for several batches of 32 per epoch
-    return load_dataset(
-        "ogbn-products", num_nodes=3000, seed=7, feature_dim=16,
-        num_classes=5,
-    )
 
 
 def _run_trainer(dataset, overlap, epochs=2):
@@ -31,9 +22,9 @@ def _run_trainer(dataset, overlap, epochs=2):
     return stats, weights, trainer.evaluate()
 
 
-def test_overlap_bit_identical_and_faster(pipeline_dataset):
-    s_seq, w_seq, acc_seq = _run_trainer(pipeline_dataset, overlap=False)
-    s_pipe, w_pipe, acc_pipe = _run_trainer(pipeline_dataset, overlap=True)
+def test_overlap_bit_identical_and_faster(medium_dataset):
+    s_seq, w_seq, acc_seq = _run_trainer(medium_dataset, overlap=False)
+    s_pipe, w_pipe, acc_pipe = _run_trainer(medium_dataset, overlap=True)
     for a, b in zip(s_seq, s_pipe):
         assert a.mean_loss == b.mean_loss  # bit-for-bit, not allclose
         assert a.iterations == b.iterations > 1
@@ -44,9 +35,9 @@ def test_overlap_bit_identical_and_faster(pipeline_dataset):
     assert acc_seq == acc_pipe
 
 
-def test_overlap_phase_totals_record_full_work(pipeline_dataset):
+def test_overlap_phase_totals_record_full_work(medium_dataset):
     """Phase totals still report the un-overlapped per-phase work."""
-    store = MultiGpuGraphStore(SimNode(), pipeline_dataset, seed=0)
+    store = MultiGpuGraphStore(SimNode(), medium_dataset, seed=0)
     trainer = WholeGraphTrainer(
         store, "graphsage", seed=3, batch_size=32, fanouts=[5, 5],
         hidden=32, overlap=True,
@@ -62,8 +53,8 @@ def test_overlap_phase_totals_record_full_work(pipeline_dataset):
     )
 
 
-def test_overlap_per_epoch_override(pipeline_dataset):
-    store = MultiGpuGraphStore(SimNode(), pipeline_dataset, seed=0)
+def test_overlap_per_epoch_override(medium_dataset):
+    store = MultiGpuGraphStore(SimNode(), medium_dataset, seed=0)
     trainer = WholeGraphTrainer(
         store, "graphsage", seed=3, batch_size=32, fanouts=[5, 5],
         hidden=32, overlap=False,
@@ -80,10 +71,10 @@ def test_overlap_rejects_all_ranks_mode(small_store):
         )
 
 
-def test_cluster_overlap_equivalence(pipeline_dataset):
+def test_cluster_overlap_equivalence(medium_dataset):
     def run(overlap):
         tr = ClusterTrainer(
-            pipeline_dataset, num_machine_nodes=2, model_name="graphsage",
+            medium_dataset, num_machine_nodes=2, model_name="graphsage",
             seed=3, batch_size=32, fanouts=[5, 5], hidden=32,
             overlap=overlap,
         )

@@ -1,0 +1,171 @@
+"""Property-based invariants for the core graph ops (hypothesis).
+
+Complements the example-based suites with adversarial randomized inputs:
+
+- the hash-based AppendUnique and the sort-based variant other frameworks
+  use are interchangeable (same node set, same target prefix, same
+  duplicate counts) and each is deterministic call-to-call;
+- per-layer neighbor sampling respects the degree bound
+  ``counts == min(degree, fanout)`` and only ever emits true neighbors;
+- a directed CSR survives the COO round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.builder import from_edge_list
+from repro.ops.append_unique import append_unique, sort_based_append_unique
+from repro.ops.neighbor_sampler import sample_layer
+
+# -- AppendUnique: hash vs sort equivalence, stability ------------------------------
+
+targets_and_neighbors = st.tuples(
+    st.integers(min_value=0, max_value=40),
+    st.lists(st.integers(min_value=0, max_value=300), max_size=400),
+    st.integers(min_value=0, max_value=2**31),
+)
+
+
+def _draw_targets(nt, seed):
+    rng = np.random.default_rng(seed)
+    return rng.choice(1000, size=nt, replace=False).astype(np.int64)
+
+
+@given(targets_and_neighbors)
+def test_hash_and_sort_append_unique_agree(data):
+    nt, neighbor_list, seed = data
+    targets = _draw_targets(nt, seed)
+    neighbors = np.asarray(neighbor_list, dtype=np.int64)
+
+    hashed = append_unique(targets, neighbors, bucket_size=32)
+    sorted_ = sort_based_append_unique(targets, neighbors)
+
+    # same universe of nodes, regardless of suffix ordering
+    assert set(hashed.unique_nodes.tolist()) == set(
+        sorted_.unique_nodes.tolist()
+    )
+    assert hashed.num_unique == sorted_.num_unique
+    # targets first and in order, for both
+    assert np.array_equal(hashed.unique_nodes[:nt], targets)
+    assert np.array_equal(sorted_.unique_nodes[:nt], targets)
+    # sub-graph IDs translate back to the input neighbors, for both
+    assert np.array_equal(
+        hashed.unique_nodes[hashed.neighbor_subgraph_ids], neighbors
+    )
+    assert np.array_equal(
+        sorted_.unique_nodes[sorted_.neighbor_subgraph_ids], neighbors
+    )
+    # duplicate counts agree per *node* (the layouts may differ)
+    h = dict(zip(hashed.unique_nodes.tolist(),
+                 hashed.duplicate_counts.tolist()))
+    s = dict(zip(sorted_.unique_nodes.tolist(),
+                 sorted_.duplicate_counts.tolist()))
+    assert h == s
+    # and both match the true neighbor multiplicity
+    assert h == {
+        n: Counter(neighbors.tolist()).get(n, 0)
+        for n in hashed.unique_nodes.tolist()
+    }
+
+
+@given(targets_and_neighbors)
+def test_append_unique_is_deterministic(data):
+    nt, neighbor_list, seed = data
+    targets = _draw_targets(nt, seed)
+    neighbors = np.asarray(neighbor_list, dtype=np.int64)
+    a = append_unique(targets, neighbors, bucket_size=32)
+    b = append_unique(targets, neighbors, bucket_size=32)
+    for attr in ("unique_nodes", "neighbor_subgraph_ids",
+                 "duplicate_counts"):
+        assert np.array_equal(getattr(a, attr), getattr(b, attr))
+
+
+# -- sampler: degree bound and membership -------------------------------------------
+
+edge_lists = st.tuples(
+    st.integers(min_value=1, max_value=30),  # num_nodes
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=29),
+            st.integers(min_value=0, max_value=29),
+        ),
+        max_size=200,
+    ),
+    st.integers(min_value=1, max_value=12),  # fanout
+    st.integers(min_value=0, max_value=2**31),  # rng seed
+)
+
+
+@given(edge_lists)
+def test_sample_layer_degree_bounds(data):
+    num_nodes, edges, fanout, seed = data
+    src = np.array([min(s, num_nodes - 1) for s, _ in edges],
+                   dtype=np.int64)
+    dst = np.array([min(d, num_nodes - 1) for _, d in edges],
+                   dtype=np.int64)
+    g = from_edge_list(src, dst, num_nodes, undirected=False, dedup=False,
+                       remove_self_loops=False)
+    targets = np.arange(num_nodes, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    flat, counts, positions = sample_layer(
+        g.indptr, g.indices, targets, fanout, rng
+    )
+    degrees = g.degree(targets)
+    # the degree bound: exactly min(degree, fanout) neighbors per target
+    assert np.array_equal(counts, np.minimum(degrees, fanout))
+    assert flat.shape[0] == int(counts.sum())
+    # every sampled edge is a real edge of its target, at its position
+    assert np.array_equal(g.indices[positions], flat)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    for i, t in enumerate(targets):
+        mine = flat[offsets[i] : offsets[i + 1]]
+        neighbors = Counter(g.neighbors(int(t)).tolist())
+        sampled = Counter(mine.tolist())
+        # sampling without replacement: multiplicity never exceeds the
+        # edge multiplicity in the graph
+        for n, c in sampled.items():
+            assert c <= neighbors[n]
+        # full-degree targets get every neighbor verbatim
+        if degrees[i] <= fanout:
+            assert sampled == neighbors
+        # edge positions stay inside the target's own CSR row
+        pos = positions[offsets[i] : offsets[i + 1]]
+        assert np.all((pos >= g.indptr[t]) & (pos < g.indptr[t + 1]))
+        assert np.unique(pos).shape[0] == pos.shape[0]  # no edge twice
+
+
+# -- CSR round-trip -----------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=39),
+            st.integers(min_value=0, max_value=39),
+        ),
+        max_size=300,
+    ),
+)
+def test_csr_coo_roundtrip_exact(num_nodes, edges):
+    src = np.array([min(s, num_nodes - 1) for s, _ in edges],
+                   dtype=np.int64)
+    dst = np.array([min(d, num_nodes - 1) for _, d in edges],
+                   dtype=np.int64)
+    g = from_edge_list(src, dst, num_nodes, undirected=False, dedup=False,
+                       remove_self_loops=False)
+    assert g.num_edges == src.shape[0]  # nothing dropped or added
+    s2, d2 = g.subgraph_edges()
+    g2 = from_edge_list(s2, d2, num_nodes, undirected=False, dedup=False,
+                        remove_self_loops=False)
+    assert np.array_equal(g.indptr, g2.indptr)
+    assert np.array_equal(g.indices, g2.indices)
+    # the COO expansion preserves the multiset of input edges
+    assert Counter(zip(src.tolist(), dst.tolist())) == Counter(
+        zip(s2.tolist(), d2.tolist())
+    )

@@ -15,14 +15,7 @@ from repro.telemetry.metrics import (
 from repro.train import WholeGraphTrainer
 
 
-@pytest.fixture
-def registry():
-    """A fresh default registry, restored after the test."""
-    fresh = MetricsRegistry()
-    prev = set_registry(fresh)
-    yield fresh
-    set_registry(prev)
-
+# the fresh-registry ``registry`` fixture comes from conftest.py
 
 # -- registry primitives ------------------------------------------------------------
 

@@ -8,7 +8,6 @@ from benchmarks import compare_runs
 from repro.graph import MultiGpuGraphStore
 from repro.hardware import SimNode
 from repro.hardware.clock import SimClock, Timeline
-from repro.telemetry.metrics import MetricsRegistry, set_registry
 from repro.telemetry.run_report import RunReport, json_safe
 from repro.telemetry.trace import (
     _split_device,
@@ -18,13 +17,7 @@ from repro.telemetry.trace import (
 from repro.train import WholeGraphTrainer
 
 
-@pytest.fixture
-def registry():
-    fresh = MetricsRegistry()
-    prev = set_registry(fresh)
-    yield fresh
-    set_registry(prev)
-
+# the fresh-registry ``registry`` fixture comes from conftest.py
 
 # -- trace export -------------------------------------------------------------------
 
