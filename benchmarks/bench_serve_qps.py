@@ -1,0 +1,146 @@
+"""Online-serving frontier: latency vs throughput across batching knobs.
+
+Sweeps max-batch-size x arrival-rate over a single serving replica (so the
+saturation point is visible without 8x the load) and prints the
+latency/throughput frontier: sustained QPS, p50/p99 latency and mean batch
+occupancy per cell, plus a cache-on vs cache-off column at equal offered
+load.  The acceptance shape mirrors classic serving systems: p99 rises with
+offered load (queueing), larger batch caps buy throughput at the cost of
+low-load latency, and the hot-row feature cache strictly cuts gather time —
+and therefore latency — at equal QPS.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.graph import MultiGpuGraphStore, load_dataset
+from repro.hardware import SimNode
+from repro.serve import (
+    FrozenModel,
+    InferenceEngine,
+    MicroBatcher,
+    synthesize_requests,
+)
+from repro.telemetry.metrics import MetricsRegistry, set_registry
+from repro.train.trainer import WholeGraphTrainer
+from repro.utils.rng import spawn_rng
+
+FANOUTS = [8, 8]
+BATCH_SIZES = (8, 32)
+RATES = (2e5, 1e6, 4e6)
+NUM_REQUESTS = 600
+MAX_WAIT_US = 50.0
+
+
+def _serve_cell(dataset, frozen, *, rate, max_batch_size, cache_ratio):
+    """One frontier cell: fresh store + clean clocks, one serving run."""
+    prev = set_registry(MetricsRegistry())
+    try:
+        store = MultiGpuGraphStore(
+            SimNode(), dataset, seed=0, cache_ratio=cache_ratio
+        )
+        engine = InferenceEngine(
+            store,
+            model=frozen,
+            fanouts=FANOUTS,
+            batcher=MicroBatcher(max_batch_size, MAX_WAIT_US),
+            replicas=[0],
+        )
+        reqs = synthesize_requests(
+            NUM_REQUESTS, rate_qps=rate, node_pool=store.test_nodes,
+            rng=spawn_rng(11, "bench-serve"),
+        )
+        report = engine.serve(reqs, seed=5).report
+    finally:
+        set_registry(prev)
+    return {
+        "rate": rate,
+        "max_batch_size": max_batch_size,
+        "cache_ratio": cache_ratio,
+        "qps": report.qps,
+        "p50": report.latency["p50"],
+        "p99": report.latency["p99"],
+        "mean_latency": report.latency["mean"],
+        "occupancy": report.batch_occupancy["mean"],
+        "gather_time": report.phase_totals["serve_gather"],
+    }
+
+
+def serve_frontier():
+    """Train once, then sweep the batching/arrival grid."""
+    dataset = load_dataset(
+        "ogbn-products", num_nodes=4000, seed=7, feature_dim=128,
+        num_classes=8,
+    )
+    prev = set_registry(MetricsRegistry())
+    try:
+        store = MultiGpuGraphStore(SimNode(), dataset, seed=0)
+        trainer = WholeGraphTrainer(
+            store, "sage", fanouts=FANOUTS, hidden=32, num_layers=2,
+            seed=3, batch_size=256,
+        )
+        trainer.train_epoch()
+    finally:
+        set_registry(prev)
+    frozen = FrozenModel(trainer.model)
+
+    rows = [
+        _serve_cell(dataset, frozen, rate=rate, max_batch_size=bs,
+                    cache_ratio=0.1)
+        for bs in BATCH_SIZES
+        for rate in RATES
+    ]
+    # cache ablation: on vs off at one saturating offered load
+    ablation = [
+        _serve_cell(dataset, frozen, rate=1e6, max_batch_size=32,
+                    cache_ratio=cr)
+        for cr in (0.0, 0.1)
+    ]
+    return rows, ablation
+
+
+def frontier_report(rows, ablation) -> str:
+    lines = [
+        "online serving frontier (1 replica, max_wait=50us, 600 requests)",
+        f"{'B':>4} {'offered':>10} {'qps':>10} {'p50 us':>9} "
+        f"{'p99 us':>9} {'occ':>6}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['max_batch_size']:>4} {r['rate']:>10.0f} {r['qps']:>10.0f} "
+            f"{r['p50'] * 1e6:>9.1f} {r['p99'] * 1e6:>9.1f} "
+            f"{r['occupancy']:>6.1f}"
+        )
+    lines.append("cache ablation @ offered 1e6 qps, B=32:")
+    for r in ablation:
+        lines.append(
+            f"  cache={r['cache_ratio']:<4} p99={r['p99'] * 1e6:8.1f}us "
+            f"mean={r['mean_latency'] * 1e6:8.1f}us "
+            f"gather={r['gather_time'] * 1e3:7.3f}ms"
+        )
+    return "\n".join(lines)
+
+
+def test_serve_qps_frontier(benchmark, emit):
+    rows, ablation = run_once(benchmark, serve_frontier)
+    emit("serve_qps_frontier", frontier_report(rows, ablation))
+
+    # p99 rises with offered load at every batch cap (queueing dominates
+    # once the replica saturates)
+    for bs in BATCH_SIZES:
+        p99s = [r["p99"] for r in rows if r["max_batch_size"] == bs]
+        assert p99s == sorted(p99s), (bs, p99s)
+        assert p99s[-1] > 2 * p99s[0], (bs, p99s)
+
+    # a larger batch cap sustains more throughput at the top offered load
+    top = {r["max_batch_size"]: r for r in rows if r["rate"] == RATES[-1]}
+    assert top[32]["qps"] > top[8]["qps"]
+
+    # cache-enabled serving beats cache-off at equal offered QPS
+    off, on = (
+        next(r for r in ablation if r["cache_ratio"] == cr)
+        for cr in (0.0, 0.1)
+    )
+    assert np.isclose(on["qps"], off["qps"], rtol=0.05)
+    assert on["gather_time"] < off["gather_time"]
+    assert on["mean_latency"] <= off["mean_latency"]

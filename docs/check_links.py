@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Dead-link check over every Markdown file in the repository.
+
+Stdlib-only, offline: relative links (``[text](path)`` and bare
+``<path.md>``-style references) are resolved against the file that contains
+them and must point at an existing file or directory; external links
+(``http(s)://``, ``mailto:``) are *not* fetched — CI must pass without
+network access — and in-page anchors (``#section``) are stripped before
+resolution.
+
+Usage::
+
+    python docs/check_links.py          # exit 1 if any relative link is dead
+
+CI runs this next to ``gen_api.py --check`` so a file rename that orphans a
+cross-reference fails the build.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown inline links: [text](target) — target captured lazily so titles
+#: ('path "title"') and nested parens in text don't confuse it
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: directories never scanned (artifacts, VCS internals)
+SKIP_DIRS = {".git", "runs", "results", "__pycache__", ".pytest_cache"}
+
+#: link schemes that are out of scope for an offline checker
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files() -> list[Path]:
+    """Every ``*.md`` under the repo root, skipping artifact directories."""
+    out = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.relative_to(
+                REPO_ROOT).parts):
+            continue
+        out.append(path)
+    return out
+
+
+def check_file(path: Path) -> list[str]:
+    """Dead-link messages for one Markdown file (empty = clean)."""
+    problems = []
+    text = path.read_text()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            rel = path.relative_to(REPO_ROOT)
+            problems.append(f"{rel}: dead link -> {target}")
+    return problems
+
+
+def main() -> int:
+    """Scan the repo; print dead links and return the exit code."""
+    files = iter_markdown_files()
+    problems = [p for f in files for p in check_file(f)]
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"\n{len(problems)} dead link(s) across {len(files)} files")
+        return 1
+    print(f"all relative links resolve ({len(files)} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

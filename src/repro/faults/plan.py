@@ -140,6 +140,7 @@ class FaultPlan:
 
     @property
     def empty(self) -> bool:
+        """True when the plan schedules no events at all."""
         return not self.events
 
     def __bool__(self) -> bool:

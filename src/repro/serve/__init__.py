@@ -1,0 +1,43 @@
+"""Online GNN inference serving on the distributed shared memory.
+
+The training side of WholeGraph keeps graph structure and features sharded
+across GPU memory so that sampling and gathering never leave the device
+fabric; exactly the same argument applies to *online* serving, where a
+request asks for the embedding or class of one node and per-request neighbor
+sampling dominates tail latency.  This package turns a trained model plus a
+:class:`~repro.graph.storage.MultiGpuGraphStore` into a served endpoint:
+
+- :mod:`repro.serve.model` — :class:`FrozenModel`, a forward-only snapshot
+  of a trained :class:`~repro.nn.module.Module` (no autograd tape);
+- :mod:`repro.serve.batcher` — the request model, simulated arrival
+  processes (Poisson and bursty) and the dynamic micro-batching queue;
+- :mod:`repro.serve.engine` — :class:`InferenceEngine`, the sharded
+  embedding/inference server that routes requests across GPU replicas and
+  charges real sample/gather/forward costs on the per-device clocks;
+- :mod:`repro.serve.report` — :class:`ServeReport`, the SLO-grade run
+  artifact (p50/p95/p99 latency, QPS, batch occupancy, queue depth).
+"""
+
+from repro.serve.batcher import (
+    MicroBatcher,
+    Request,
+    bursty_arrivals,
+    poisson_arrivals,
+    synthesize_requests,
+)
+from repro.serve.engine import InferenceEngine, ServeResult
+from repro.serve.model import FrozenModel
+from repro.serve.report import ServeReport, latency_summary
+
+__all__ = [
+    "FrozenModel",
+    "InferenceEngine",
+    "MicroBatcher",
+    "Request",
+    "ServeReport",
+    "ServeResult",
+    "bursty_arrivals",
+    "latency_summary",
+    "poisson_arrivals",
+    "synthesize_requests",
+]

@@ -1,0 +1,255 @@
+"""Request model, simulated arrival processes, dynamic micro-batching.
+
+Online inference traffic is a stream of tiny independent requests; GPUs want
+large coalesced batches.  The standard reconciliation is a *dynamic
+micro-batching queue* (Clipper, TensorFlow Serving, Triton): a batch closes
+when it reaches ``max_batch_size`` **or** when its oldest request has waited
+``max_wait_us`` microseconds, whichever comes first — the two knobs trade
+throughput (bigger batches amortise kernel launches and ride the segment-size
+bandwidth curve) against tail latency (the deadline bounds queueing delay).
+
+Everything here is a *pure* function of the arrival times and the server's
+free time, so batch formation is deterministic and unit-testable without any
+clocks: :meth:`MicroBatcher.next_batch` computes one batching decision, and
+the engine replays decisions against the simulated per-device clocks.
+
+Arrival processes generate the simulated request streams:
+
+- :func:`poisson_arrivals` — memoryless open-loop traffic at a target QPS
+  (i.i.d. exponential inter-arrival gaps), the standard load-test model;
+- :func:`bursty_arrivals` — a two-state Markov-modulated Poisson process
+  that alternates calm and burst phases, the tail-latency stress model
+  (real user traffic is bursty at every time scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import config
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: classify/embed one node of the served graph.
+
+    ``arrival`` is the simulated arrival offset in seconds relative to the
+    engine's serve-start time; ``node_id`` is a *stored* node ID of the
+    :class:`~repro.graph.storage.MultiGpuGraphStore` being served.
+    """
+
+    request_id: int
+    node_id: int
+    arrival: float
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """One micro-batch the queue decided to dispatch.
+
+    ``close_time`` is when the batch left the queue: the moment it filled,
+    its deadline expired, or the server freed up — whichever bound applied.
+    ``count`` requests starting at ``first_index`` form the batch.
+    """
+
+    first_index: int
+    count: int
+    close_time: float
+    #: requests arrived but still queued *after* this batch was taken
+    queue_depth_after: int
+
+    @property
+    def last_index(self) -> int:
+        """Index one past the final request of the batch."""
+        return self.first_index + self.count
+
+
+class MicroBatcher:
+    """Deadline-and-capacity dynamic batching over an arrival sequence.
+
+    The queue policy, given the head request's arrival ``a0`` and the
+    server's free time ``t_free``:
+
+    1. the batch cannot close before ``max(a0, t_free)`` (nothing to serve
+       before the head arrives; no one to serve it before the GPU frees);
+    2. if the ``max_batch_size``-th request arrives before the head's
+       deadline ``a0 + max_wait`` (and before/at the floor above), the batch
+       closes *full* the moment it fills;
+    3. otherwise it closes at ``max(floor, a0 + max_wait)`` with whatever
+       has arrived by then (at least the head), capped at
+       ``max_batch_size`` — a server that was busy past the deadline grabs
+       everything waiting, up to capacity, the instant it frees.
+    """
+
+    def __init__(self, max_batch_size: int = 32,
+                 max_wait_us: float = 200.0):
+        """``max_batch_size`` caps batch occupancy; ``max_wait_us`` bounds
+        how long the oldest request may sit in the queue (microseconds;
+        ``0`` dispatches greedily — every batch is whatever already
+        arrived)."""
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_us < 0:
+            raise ValueError("max_wait_us must be >= 0")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_us = float(max_wait_us)
+        self.max_wait = float(max_wait_us) * config.US
+
+    def next_batch(
+        self, arrivals: np.ndarray, first_index: int, t_free: float
+    ) -> BatchDecision:
+        """Decide the next batch from sorted ``arrivals[first_index:]``.
+
+        ``t_free`` is the serving replica's current free time.  Pure and
+        deterministic — no state, no clocks.
+        """
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        n = arrivals.shape[0]
+        if not 0 <= first_index < n:
+            raise IndexError(f"first_index {first_index} out of range")
+        cap = self.max_batch_size
+        head = float(arrivals[first_index])
+        floor = max(head, float(t_free))
+        deadline = max(floor, head + self.max_wait)
+        fill_index = first_index + cap - 1
+        if fill_index < n and float(arrivals[fill_index]) <= deadline:
+            # rule 2: the capacity-th request lands inside the window —
+            # close full, at its arrival (or at the floor if it was already
+            # waiting when the server freed)
+            close = max(floor, float(arrivals[fill_index]))
+            count = cap
+        else:
+            # rule 3: deadline (or immediate, post-deadline) close
+            close = deadline
+            arrived = int(np.searchsorted(arrivals, close, side="right"))
+            count = min(max(arrived - first_index, 1), cap)
+        depth_after = (
+            int(np.searchsorted(arrivals, close, side="right"))
+            - first_index
+            - count
+        )
+        return BatchDecision(
+            first_index=first_index,
+            count=count,
+            close_time=close,
+            queue_depth_after=max(depth_after, 0),
+        )
+
+    def plan(self, arrivals: np.ndarray,
+             service_time: float = 0.0) -> list[BatchDecision]:
+        """Batch an entire arrival sequence against a fixed service time.
+
+        A convenience for unit tests and queueing what-ifs: replays
+        :meth:`next_batch` with the server freeing ``service_time`` seconds
+        after each close.  The engine uses :meth:`next_batch` directly with
+        the real simulated clocks instead.
+        """
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        out: list[BatchDecision] = []
+        i, t_free = 0, 0.0
+        while i < arrivals.shape[0]:
+            d = self.next_batch(arrivals, i, t_free)
+            out.append(d)
+            t_free = d.close_time + float(service_time)
+            i = d.last_index
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Simulated arrival processes
+# ---------------------------------------------------------------------------
+
+
+def poisson_arrivals(
+    rate_qps: float, num_requests: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Arrival offsets (seconds) of a Poisson stream at ``rate_qps``.
+
+    Inter-arrival gaps are i.i.d. exponential with mean ``1/rate_qps``; the
+    first request arrives after one gap (offset > 0).
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    gaps = rng.exponential(1.0 / rate_qps, size=int(num_requests))
+    return np.cumsum(gaps)
+
+
+def bursty_arrivals(
+    rate_qps: float,
+    num_requests: int,
+    rng: np.random.Generator,
+    burst_factor: float = 8.0,
+    burst_fraction: float = 0.2,
+    mean_phase_requests: int = 32,
+) -> np.ndarray:
+    """Arrival offsets of a two-state Markov-modulated Poisson process.
+
+    The stream alternates *calm* and *burst* phases: ``burst_fraction`` of
+    the requests belong to burst phases (geometric phase lengths, burst
+    phases averaging ``mean_phase_requests`` arrivals), and burst phases run
+    at ``burst_factor`` times the calm rate.  The calm rate is solved so the
+    long-run mean rate equals ``rate_qps`` — same marginal load as
+    :func:`poisson_arrivals`, much heavier queueing tails (the p99 stress
+    case).
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    if not 0.0 < burst_fraction < 1.0:
+        raise ValueError("burst_fraction must be in (0, 1)")
+    if burst_factor < 1.0:
+        raise ValueError("burst_factor must be >= 1")
+    # mean gap = (1-f)/calm + f/(factor*calm) must equal 1/rate
+    f = burst_fraction
+    calm_rate = rate_qps * ((1.0 - f) + f / burst_factor)
+    burst_rate = calm_rate * burst_factor
+    # asymmetric per-arrival switching with stationary burst share f:
+    # leave-burst prob b sets the burst phase length; leave-calm prob a
+    # balances the chain (f = a / (a + b))
+    leave_burst = 1.0 / max(int(mean_phase_requests), 1)
+    leave_calm = leave_burst * f / (1.0 - f)
+
+    gaps = np.empty(int(num_requests), dtype=np.float64)
+    in_burst = False
+    for i in range(int(num_requests)):
+        rate = burst_rate if in_burst else calm_rate
+        gaps[i] = rng.exponential(1.0 / rate)
+        if rng.random() < (leave_burst if in_burst else leave_calm):
+            in_burst = not in_burst
+    return np.cumsum(gaps)
+
+
+def synthesize_requests(
+    num_requests: int,
+    rate_qps: float,
+    node_pool: np.ndarray,
+    rng: np.random.Generator,
+    process: str = "poisson",
+    **process_kwargs,
+) -> list[Request]:
+    """Build a request stream: arrival process × node popularity.
+
+    ``node_pool`` is the population of stored node IDs requests draw from
+    (uniformly, with replacement) — pass e.g. ``store.test_nodes``, or a
+    degree-weighted sample for a hotter workload.  ``process`` selects
+    ``"poisson"`` or ``"bursty"`` arrivals; extra kwargs flow to the arrival
+    generator.
+    """
+    node_pool = np.asarray(node_pool, dtype=np.int64)
+    if node_pool.size == 0:
+        raise ValueError("node_pool is empty")
+    if process == "poisson":
+        arrivals = poisson_arrivals(rate_qps, num_requests, rng,
+                                    **process_kwargs)
+    elif process == "bursty":
+        arrivals = bursty_arrivals(rate_qps, num_requests, rng,
+                                   **process_kwargs)
+    else:
+        raise ValueError("process must be 'poisson' or 'bursty'")
+    nodes = rng.choice(node_pool, size=int(num_requests), replace=True)
+    return [
+        Request(request_id=i, node_id=int(nodes[i]),
+                arrival=float(arrivals[i]))
+        for i in range(int(num_requests))
+    ]

@@ -1,0 +1,301 @@
+"""The sharded online inference engine.
+
+This is the serving counterpart of :class:`~repro.train.trainer.WholeGraphTrainer`:
+requests arrive on a simulated clock, are routed to a GPU *replica*, queued
+through the dynamic micro-batcher, and each dispatched batch runs the real
+data path — neighbor sampling over the sharded CSR, feature gather through
+:class:`~repro.dsm.whole_tensor.WholeTensor` / the hot-row
+:class:`~repro.dsm.feature_cache.FeatureCache`, and the frozen forward — so
+every request charges genuine bytes-per-link and kernel costs to the
+replica's :class:`~repro.hardware.clock.SimClock`.
+
+Per-request latency is *completion minus arrival* on the simulated clock:
+queueing delay (the micro-batcher's wait), then sampling, gather and forward
+service time.  The engine reports exact p50/p90/p95/p99 over the run in a
+:class:`~repro.serve.report.ServeReport`, streams queue-depth/occupancy/QPS
+into the metrics registry, and draws each dispatched batch on a dedicated
+``<gpu>/serve`` trace lane (the same synthetic-lane trick the grad-sync
+overlap engine uses for its ``<gpu>/nccl`` lane).
+
+Two serving modes:
+
+- **model serving** (``model=`` a :class:`~repro.serve.model.FrozenModel`):
+  sample an L-layer sub-graph per batch, gather the deepest frontier's
+  features, run the frozen forward, answer with class predictions;
+- **embedding lookup** (``model=None``): answer with the raw feature rows of
+  the requested nodes — a pure sharded-gather workload, the lower bound of
+  the latency story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import config
+from repro.graph.storage import MultiGpuGraphStore
+from repro.hardware.clock import Span
+from repro.ops.neighbor_sampler import NeighborSampler
+from repro.serve.batcher import MicroBatcher, Request
+from repro.serve.model import FrozenModel
+from repro.serve.report import ServeReport, latency_summary
+from repro.telemetry import metrics
+from repro.utils.rng import RngPool
+
+#: routing policies: request index round-robin vs node-ID hash affinity
+ROUTING_POLICIES = ("round_robin", "hash")
+
+
+@dataclass
+class ServeResult:
+    """Everything one :meth:`InferenceEngine.serve` call produced.
+
+    ``predictions[i]`` / ``latencies[i]`` / ``replica_of[i]`` align with
+    ``requests[i]`` of the submitted list (``predictions`` is ``None`` in
+    embedding-lookup mode).  ``report`` is the saved-to-disk artifact.
+    """
+
+    latencies: np.ndarray
+    predictions: np.ndarray | None
+    replica_of: np.ndarray
+    report: ServeReport
+
+
+class InferenceEngine:
+    """Routes, batches and executes requests over the sharded store."""
+
+    def __init__(
+        self,
+        store: MultiGpuGraphStore,
+        model: FrozenModel | None = None,
+        fanouts=None,
+        batcher: MicroBatcher | None = None,
+        replicas=None,
+        routing: str = "round_robin",
+        name: str = "serve",
+    ):
+        """Build a serving endpoint over ``store``.
+
+        ``model`` enables full GNN inference (``fanouts`` defaults to
+        ``[config.FANOUT] * model.num_layers`` and must match the model's
+        layer count); ``model=None`` serves raw feature rows.  ``replicas``
+        is the list of GPU ranks that serve (default: every GPU of the
+        store's node).  ``routing`` is ``"round_robin"`` (load-balanced) or
+        ``"hash"`` (node-ID affinity, cache-friendlier).  ``batcher``
+        defaults to ``MicroBatcher()``'s knobs.
+        """
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(f"routing must be one of {ROUTING_POLICIES}")
+        self.store = store
+        self.node = store.node
+        self.model = model
+        if model is not None:
+            if fanouts is None:
+                fanouts = [config.FANOUT] * model.num_layers
+            if len(fanouts) != model.num_layers:
+                raise ValueError(
+                    f"{len(fanouts)} fanouts for a "
+                    f"{model.num_layers}-layer model"
+                )
+        self.fanouts = [int(f) for f in fanouts] if fanouts else None
+        self.sampler = (
+            NeighborSampler(store, self.fanouts, charge=True)
+            if self.fanouts
+            else None
+        )
+        self.batcher = batcher if batcher is not None else MicroBatcher()
+        if replicas is None:
+            replicas = list(range(self.node.num_gpus))
+        if not replicas:
+            raise ValueError("need at least one serving replica")
+        self.replicas = [int(r) for r in replicas]
+        self.routing = routing
+        self.name = name
+
+    # -- routing ----------------------------------------------------------------
+
+    def _route(self, order: np.ndarray, node_ids: np.ndarray) -> np.ndarray:
+        """Replica *index* (into ``self.replicas``) per request, given the
+        arrival-sorted request order."""
+        n_rep = len(self.replicas)
+        out = np.empty(order.shape[0], dtype=np.int64)
+        if self.routing == "round_robin":
+            # arrival-order round robin: consecutive requests hit
+            # consecutive replicas regardless of submission order
+            out[order] = np.arange(order.shape[0], dtype=np.int64) % n_rep
+        else:  # hash affinity: a node always hits the same replica
+            out = node_ids % n_rep
+        return out
+
+    # -- the serve loop ----------------------------------------------------------
+
+    def serve(self, requests: list[Request], seed: int = 0) -> ServeResult:
+        """Serve a simulated request stream; returns the :class:`ServeResult`.
+
+        Deterministic: the same requests, seed and engine configuration give
+        a byte-identical scrubbed :class:`ServeReport`.  ``seed`` feeds the
+        per-replica sampling RNG streams (unused in embedding mode).
+        """
+        if not requests:
+            raise ValueError("empty request stream")
+        reg = metrics.get_registry()
+        node = self.node
+        t0 = node.sync(phase="wait")
+
+        arrival = np.array([r.arrival for r in requests], dtype=np.float64)
+        node_ids = np.array([r.node_id for r in requests], dtype=np.int64)
+        if np.any(arrival < 0):
+            raise ValueError("request arrivals must be >= 0")
+        # stable arrival order (ties broken by submission index)
+        order = np.argsort(arrival, kind="stable")
+        replica_idx = self._route(order, node_ids)
+
+        pool = RngPool(int(seed), node.num_gpus)
+        n = len(requests)
+        latencies = np.zeros(n, dtype=np.float64)
+        predictions = (
+            np.zeros(n, dtype=np.int64) if self.model is not None else None
+        )
+        num_batches = 0
+        occupancies: list[int] = []
+        per_replica_rows = []
+        last_completion = t0
+
+        for ri, rank in enumerate(self.replicas):
+            mine = order[replica_idx[order] == ri]
+            if mine.size == 0:
+                per_replica_rows.append({
+                    "rank": rank,
+                    "device": node.gpu_memory[rank].device,
+                    "requests": 0, "batches": 0,
+                    "latency": latency_summary([]),
+                })
+                continue
+            abs_arrival = t0 + arrival[mine]
+            clock = node.gpu_clock[rank]
+            rng = pool.rank(rank)
+            rep_batches = 0
+            i = 0
+            while i < mine.size:
+                decision = self.batcher.next_batch(abs_arrival, i, clock.now)
+                # queueing: the replica idles until the batch closes
+                clock.wait_until(
+                    decision.close_time, phase="serve_wait", category="serve"
+                )
+                batch = mine[i:decision.last_index]
+                dispatch = clock.now
+                preds = self._execute(node_ids[batch], rank, rng)
+                if predictions is not None and preds is not None:
+                    predictions[batch] = preds
+                completion = clock.now
+                latencies[batch] = completion - abs_arrival[
+                    i:decision.last_index
+                ]
+                # the serve lane: one span per dispatched batch
+                node.timeline.record(Span(
+                    clock.device + "/serve", dispatch, completion,
+                    phase="serve_batch", busy=True, category="serve",
+                    args={"occupancy": int(decision.count),
+                          "queue_depth": int(decision.queue_depth_after)},
+                ))
+                reg.counter("serve_requests_total").inc(decision.count)
+                reg.counter("serve_batches_total").inc(1)
+                reg.histogram("serve_batch_occupancy").observe(decision.count)
+                reg.histogram("serve_latency_seconds").observe(
+                    latencies[batch]
+                )
+                reg.gauge(
+                    "serve_queue_depth", replica=str(rank)
+                ).set(decision.queue_depth_after, t=dispatch)
+                occupancies.append(int(decision.count))
+                rep_batches += 1
+                num_batches += 1
+                i = decision.last_index
+            last_completion = max(last_completion, clock.now)
+            per_replica_rows.append({
+                "rank": rank,
+                "device": node.gpu_memory[rank].device,
+                "requests": int(mine.size),
+                "batches": rep_batches,
+                "latency": latency_summary(latencies[mine]),
+            })
+
+        duration = last_completion - t0
+        qps = n / duration if duration > 0 else 0.0
+        reg.gauge("serve_qps").set(qps)
+        occ = np.asarray(occupancies, dtype=np.float64)
+        report = ServeReport(
+            name=self.name,
+            config=self._config_dict(),
+            seed=int(seed),
+            num_requests=n,
+            num_batches=num_batches,
+            duration_seconds=float(duration),
+            qps=float(qps),
+            latency=latency_summary(latencies),
+            batch_occupancy={
+                "mean": float(occ.mean()) if occ.size else None,
+                "min": int(occ.min()) if occ.size else None,
+                "max": int(occ.max()) if occ.size else None,
+            },
+            per_replica=per_replica_rows,
+            phase_totals={
+                p: node.timeline.phase_total(p)
+                for p in ("serve_wait", "serve_sample",
+                          "serve_gather", "serve_infer")
+            },
+            metrics=reg.snapshot(),
+        )
+        return ServeResult(
+            latencies=latencies,
+            predictions=predictions,
+            replica_of=np.asarray(self.replicas, dtype=np.int64)[replica_idx],
+            report=report,
+        )
+
+    def _execute(
+        self, seeds: np.ndarray, rank: int, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        """Run one dispatched batch on ``rank``, charging its clock.
+
+        Returns the batch's class predictions (model mode) or ``None``
+        (embedding mode, where the gathered rows are the response).
+        """
+        node = self.node
+        if self.sampler is not None:
+            # a batch may ask for the same node twice; dedupe before
+            # sampling (AppendUnique requires unique targets) and fan the
+            # answer back out — the compute is shared, as a real server
+            # coalescing identical queries would share it
+            uniq, inverse = np.unique(seeds, return_inverse=True)
+            sub = self.sampler.sample(uniq, rank, rng, phase="serve_sample")
+            feats = self.store.gather_features(
+                sub.input_nodes, rank, phase="serve_gather"
+            )
+            if self.model is not None:
+                logits = self.model(sub, feats)
+                node.gpu_clock[rank].advance(
+                    self.model.estimate_inference_time(sub),
+                    phase="serve_infer", category="serve",
+                    args={"seeds": int(uniq.shape[0]),
+                          "input_nodes": int(sub.input_nodes.shape[0])},
+                )
+                return logits.argmax(axis=-1)[inverse]
+            return None
+        self.store.gather_features(seeds, rank, phase="serve_gather")
+        return None
+
+    def _config_dict(self) -> dict:
+        """The engine configuration block of the :class:`ServeReport`."""
+        return {
+            "mode": "model" if self.model is not None else "embedding",
+            "model": self.model.module_name if self.model else None,
+            "fanouts": list(self.fanouts) if self.fanouts else None,
+            "max_batch_size": self.batcher.max_batch_size,
+            "max_wait_us": self.batcher.max_wait_us,
+            "routing": self.routing,
+            "replicas": list(self.replicas),
+            "cache_enabled": self.store.feature_cache is not None,
+            "feature_location": self.store.feature_location,
+        }

@@ -54,6 +54,7 @@ class Counter:
     samples: list = field(default_factory=list)
 
     def inc(self, amount: float = 1.0, t: float | None = None) -> None:
+        """Add ``amount`` (>= 0); pass ``t=`` to record a trace sample."""
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
         self.value += amount
@@ -61,6 +62,7 @@ class Counter:
             self.samples.append((float(t), self.value))
 
     def as_dict(self) -> dict:
+        """JSON-able snapshot of this counter."""
         return {"type": "counter", "labels": dict(self.labels),
                 "value": self.value}
 
@@ -75,11 +77,13 @@ class Gauge:
     samples: list = field(default_factory=list)
 
     def set(self, value: float, t: float | None = None) -> None:
+        """Overwrite the value; pass ``t=`` to record a trace sample."""
         self.value = float(value)
         if t is not None:
             self.samples.append((float(t), self.value))
 
     def as_dict(self) -> dict:
+        """JSON-able snapshot of this gauge."""
         return {"type": "gauge", "labels": dict(self.labels),
                 "value": self.value}
 
@@ -118,9 +122,11 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of every observed value (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     def as_dict(self) -> dict:
+        """JSON-able snapshot: count/sum/min/max/mean plus the buckets."""
         return {
             "type": "histogram",
             "labels": dict(self.labels),
@@ -148,12 +154,15 @@ class MetricsRegistry:
         return metric
 
     def counter(self, name: str, **labels) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
         return self._get(Counter, name, labels)
 
     def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
         return self._get(Gauge, name, labels)
 
     def histogram(self, name: str, **labels) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
         return self._get(Histogram, name, labels)
 
     # -- introspection -------------------------------------------------------
@@ -197,6 +206,7 @@ class MetricsRegistry:
         }
 
     def reset(self) -> None:
+        """Drop every metric (per-run scoping in experiment drivers)."""
         self._metrics.clear()
 
 
@@ -205,6 +215,7 @@ _default_registry = MetricsRegistry()
 
 
 def get_registry() -> MetricsRegistry:
+    """The process-wide default registry instrumented ops report to."""
     return _default_registry
 
 

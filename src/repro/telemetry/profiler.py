@@ -22,6 +22,8 @@ from repro.telemetry.report import format_table
 
 @dataclass
 class PhaseSummary:
+    """Aggregated span time for one ``(device, phase)`` pair."""
+
     device: str
     phase: str
     total: float
@@ -86,6 +88,7 @@ class PhaseProfiler:
         )
 
     def phase_totals(self, device: str | None = None) -> dict[str, float]:
+        """Phase -> summed seconds, across all devices or one of them."""
         out: dict[str, float] = {}
         for s in self.summaries:
             if device is None or s.device == device:

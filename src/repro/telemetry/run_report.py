@@ -118,22 +118,27 @@ class RunReport:
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> dict:
+        """JSON-safe nested dict of every field."""
         return json_safe(dataclasses.asdict(self))
 
     def to_json(self, indent: int | None = 2) -> str:
+        """Serialise to a JSON string (field order preserved)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
     def save(self, path) -> None:
+        """Write the JSON manifest to ``path``."""
         with open(path, "w") as f:
             f.write(self.to_json() + "\n")
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunReport":
+        """Rebuild from a dict, ignoring unknown keys (forward compat)."""
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 
     @classmethod
     def load(cls, path) -> "RunReport":
+        """Read a manifest previously written by :meth:`save`."""
         with open(path) as f:
             return cls.from_dict(json.load(f))
 

@@ -1,0 +1,391 @@
+"""Online-serving subsystem tests (repro.serve).
+
+Covers the ISSUE-5 contract: micro-batcher close rules, arrival-process
+determinism, frozen-model bit-identity with the trainer's eval forward,
+byte-identical scrubbed ServeReports across same-seed runs, p99 latency
+monotone in offered load, and cache-warm beating cache-cold gather cost.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import MultiGpuGraphStore
+from repro.hardware import SimNode
+from repro.nn.tensor import Tensor
+from repro.ops.neighbor_sampler import NeighborSampler
+from repro.serve import (
+    FrozenModel,
+    InferenceEngine,
+    MicroBatcher,
+    ServeReport,
+    bursty_arrivals,
+    poisson_arrivals,
+    synthesize_requests,
+)
+from repro.serve.report import latency_summary
+from repro.telemetry.metrics import MetricsRegistry, set_registry
+from repro.telemetry.run_report import scrub_report
+from repro.train.trainer import WholeGraphTrainer
+from repro.utils.rng import spawn_rng
+
+FANOUTS = [5, 5]
+
+
+@pytest.fixture(scope="module")
+def trained(medium_dataset):
+    """One trained GraphSage + its frozen export (module-cached)."""
+    reg = set_registry(MetricsRegistry())
+    try:
+        store = MultiGpuGraphStore(SimNode(), medium_dataset, seed=0)
+        trainer = WholeGraphTrainer(
+            store, "sage", fanouts=FANOUTS, hidden=32, num_layers=2,
+            seed=3, batch_size=256,
+        )
+        trainer.train_epoch()
+    finally:
+        set_registry(reg)
+    return trainer, FrozenModel(trainer.model)
+
+
+def make_engine(dataset, frozen, *, cache_ratio=0.0, replicas=None,
+                max_batch_size=32, max_wait_us=50.0, routing="round_robin",
+                cache_policy="static", model=True):
+    """Fresh node + store + engine (clean clocks per serving run)."""
+    store = MultiGpuGraphStore(
+        SimNode(), dataset, seed=0, cache_ratio=cache_ratio,
+        cache_policy=cache_policy,
+    )
+    return InferenceEngine(
+        store,
+        model=frozen if model else None,
+        fanouts=FANOUTS if model else None,
+        batcher=MicroBatcher(max_batch_size, max_wait_us),
+        replicas=replicas,
+        routing=routing,
+    )
+
+
+def make_requests(store, n, rate, seed=11, process="poisson"):
+    rng = spawn_rng(seed, "serve-requests")
+    return synthesize_requests(
+        n, rate_qps=rate, node_pool=store.test_nodes, rng=rng,
+        process=process,
+    )
+
+
+# ---------------------------------------------------------------------------
+# micro-batcher close rules
+# ---------------------------------------------------------------------------
+
+
+class TestMicroBatcher:
+    def test_deadline_close_single_request(self):
+        b = MicroBatcher(max_batch_size=8, max_wait_us=100)
+        d = b.next_batch(np.array([1.0]), 0, t_free=0.0)
+        assert d.count == 1
+        assert d.close_time == pytest.approx(1.0 + 100e-6)
+
+    def test_fill_close_at_capacity(self):
+        # 8 requests 1us apart: the 4th arrival closes a full batch early
+        arr = 1.0 + np.arange(8) * 1e-6
+        b = MicroBatcher(max_batch_size=4, max_wait_us=100)
+        d = b.next_batch(arr, 0, t_free=0.0)
+        assert d.count == 4
+        assert d.close_time == pytest.approx(arr[3])
+
+    def test_queue_depth_counts_arrived_leftovers(self):
+        # 8 simultaneous requests, capacity 4: the leftover 4 are queued
+        arr = np.full(8, 1.0)
+        d = MicroBatcher(max_batch_size=4, max_wait_us=100).next_batch(
+            arr, 0, t_free=0.0
+        )
+        assert d.count == 4
+        assert d.queue_depth_after == 4
+
+    def test_busy_server_grabs_backlog(self):
+        # server frees long after the deadline: it takes everything waiting
+        # (up to capacity) immediately, no extra wait
+        arr = np.array([1.0, 1.1, 1.2, 5.0])
+        b = MicroBatcher(max_batch_size=8, max_wait_us=100)
+        d = b.next_batch(arr, 0, t_free=3.0)
+        assert d.close_time == pytest.approx(3.0)
+        assert d.count == 3  # the 4th hasn't arrived yet
+
+    def test_zero_wait_dispatches_head_alone(self):
+        arr = np.array([1.0, 2.0])
+        d = MicroBatcher(max_batch_size=8, max_wait_us=0).next_batch(
+            arr, 0, t_free=0.0
+        )
+        assert d.count == 1
+        assert d.close_time == pytest.approx(1.0)
+
+    def test_plan_covers_every_request_once(self, seeded_rng):
+        arr = np.sort(seeded_rng.uniform(0, 1e-3, size=200))
+        plan = MicroBatcher(max_batch_size=7, max_wait_us=20).plan(
+            arr, service_time=30e-6
+        )
+        covered = [i for d in plan for i in range(d.first_index, d.last_index)]
+        assert covered == list(range(200))
+        assert all(1 <= d.count <= 7 for d in plan)
+        # close times never precede the head arrival
+        assert all(d.close_time >= arr[d.first_index] for d in plan)
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_us=-1)
+
+
+# ---------------------------------------------------------------------------
+# arrival processes
+# ---------------------------------------------------------------------------
+
+
+class TestArrivals:
+    def test_poisson_rate_and_monotonicity(self):
+        rng = spawn_rng(0, "poisson")
+        arr = poisson_arrivals(1000.0, 5000, rng)
+        assert np.all(np.diff(arr) > 0)
+        # empirical rate within 10% of the target
+        assert 5000 / arr[-1] == pytest.approx(1000.0, rel=0.1)
+
+    def test_bursty_preserves_marginal_rate(self):
+        rng = spawn_rng(0, "bursty")
+        arr = bursty_arrivals(1000.0, 20000, rng)
+        assert np.all(np.diff(arr) > 0)
+        assert 20000 / arr[-1] == pytest.approx(1000.0, rel=0.15)
+
+    def test_bursty_has_heavier_gap_tail(self):
+        # burstiness = higher coefficient of variation of the gaps
+        p = np.diff(poisson_arrivals(1000.0, 20000, spawn_rng(1, "p")))
+        b = np.diff(bursty_arrivals(1000.0, 20000, spawn_rng(1, "b")))
+        cv = lambda g: g.std() / g.mean()  # noqa: E731
+        assert cv(b) > cv(p)
+
+    def test_synthesize_is_deterministic(self, small_store):
+        a = make_requests(small_store, 50, 1e5, seed=9)
+        b = make_requests(small_store, 50, 1e5, seed=9)
+        assert a == b
+        assert all(r.node_id in small_store.test_nodes for r in a)
+
+
+# ---------------------------------------------------------------------------
+# frozen model
+# ---------------------------------------------------------------------------
+
+
+class TestFrozenModel:
+    def test_bit_identical_to_trainer_eval_forward(self, trained):
+        trainer, frozen = trained
+        store = trainer.store
+        sampler = NeighborSampler(store, FANOUTS, charge=False)
+        rng = spawn_rng(4, "freeze-check")
+        seeds = store.val_nodes[:64]
+        sg = sampler.sample(seeds, 0, rng)
+        x = store.feature_tensor.gather_no_cost(sg.input_nodes)
+
+        trainer.model.eval()
+        want = trainer.model(sg, Tensor(x), None).data
+        trainer.model.train()
+        got = frozen(sg, x)
+        np.testing.assert_array_equal(got, want)
+        assert got.dtype == want.dtype
+
+    def test_snapshot_isolated_from_further_training(self, trained):
+        trainer, frozen = trained
+        before = [p.copy() for p in frozen.state_dict()]
+        reg = set_registry(MetricsRegistry())
+        try:
+            trainer.train_epoch()
+        finally:
+            set_registry(reg)
+        after = frozen.state_dict()
+        for a, b in zip(before, after):
+            np.testing.assert_array_equal(a, b)
+
+    def test_forward_builds_no_tape(self, trained):
+        _, frozen = trained
+        assert all(not p.requires_grad for p in frozen._module.parameters())
+        assert frozen.num_layers == 2
+        assert frozen.param_bytes() == sum(
+            p.nbytes for p in frozen.state_dict()
+        )
+
+    def test_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            FrozenModel(object())
+
+
+# ---------------------------------------------------------------------------
+# engine + report
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_same_seed_byte_identical_scrubbed_report(
+        self, medium_dataset, trained
+    ):
+        _, frozen = trained
+
+        def one_run():
+            prev = set_registry(MetricsRegistry())
+            try:
+                eng = make_engine(medium_dataset, frozen, cache_ratio=0.1)
+                reqs = make_requests(eng.store, 300, 5e5, seed=21)
+                rep = eng.serve(reqs, seed=5).report
+            finally:
+                set_registry(prev)
+            return json.dumps(scrub_report(rep.to_dict()), sort_keys=True)
+
+        assert one_run() == one_run()
+
+    def test_p99_monotone_in_arrival_rate(self, medium_dataset, trained):
+        _, frozen = trained
+        p99s = []
+        for rate in (2e5, 2e6, 2e7):
+            prev = set_registry(MetricsRegistry())
+            try:
+                eng = make_engine(medium_dataset, frozen, replicas=[0])
+                reqs = make_requests(eng.store, 400, rate, seed=13)
+                rep = eng.serve(reqs, seed=5).report
+            finally:
+                set_registry(prev)
+            p99s.append(rep.latency["p99"])
+        assert p99s[0] < p99s[1] < p99s[2], p99s
+
+    def test_cache_warm_beats_cache_cold(self, medium_dataset, trained):
+        _, frozen = trained
+        totals = {}
+        for ratio in (0.0, 0.25):
+            prev = set_registry(MetricsRegistry())
+            try:
+                eng = make_engine(medium_dataset, frozen, cache_ratio=ratio,
+                                  replicas=[0])
+                reqs = make_requests(eng.store, 300, 1e6, seed=17)
+                rep = eng.serve(reqs, seed=5).report
+            finally:
+                set_registry(prev)
+            totals[ratio] = (
+                rep.phase_totals["serve_gather"], rep.latency["mean"]
+            )
+        # the warm static cache strictly cuts gather time, which feeds
+        # straight into mean latency at equal offered load
+        assert totals[0.25][0] < totals[0.0][0]
+        assert totals[0.25][1] <= totals[0.0][1]
+
+    def test_clock_cache_warms_up_across_passes(
+        self, medium_dataset, trained, registry
+    ):
+        _, frozen = trained
+        eng = make_engine(medium_dataset, frozen, cache_ratio=0.25,
+                          replicas=[0], cache_policy="clock")
+        reqs = make_requests(eng.store, 200, 1e6, seed=19)
+        timeline = eng.node.timeline
+        eng.serve(reqs, seed=5)
+        cold = timeline.phase_total("serve_gather")
+        eng.serve(reqs, seed=5)
+        warm = timeline.phase_total("serve_gather") - cold
+        assert warm < cold
+
+    def test_predictions_align_with_store_labels_shape(
+        self, medium_dataset, trained, registry
+    ):
+        _, frozen = trained
+        eng = make_engine(medium_dataset, frozen)
+        reqs = make_requests(eng.store, 100, 5e5)
+        res = eng.serve(reqs, seed=2)
+        assert res.predictions.shape == (100,)
+        assert np.all(res.predictions >= 0)
+        assert np.all(res.predictions < eng.store.num_classes)
+        assert np.all(res.latencies > 0)
+
+    def test_embedding_mode_serves_without_model(
+        self, medium_dataset, trained, registry
+    ):
+        _, frozen = trained
+        eng = make_engine(medium_dataset, frozen, model=False)
+        reqs = make_requests(eng.store, 80, 5e5)
+        res = eng.serve(reqs, seed=2)
+        assert res.predictions is None
+        assert res.report.phase_totals["serve_sample"] == 0.0
+        assert res.report.phase_totals["serve_gather"] > 0.0
+
+    def test_hash_routing_pins_nodes_to_replicas(
+        self, medium_dataset, trained, registry
+    ):
+        _, frozen = trained
+        eng = make_engine(medium_dataset, frozen, routing="hash")
+        reqs = make_requests(eng.store, 120, 5e5)
+        res = eng.serve(reqs, seed=2)
+        seen = {}
+        for r, rep in zip(reqs, res.replica_of):
+            assert seen.setdefault(r.node_id, rep) == rep
+
+    def test_round_robin_balances_replicas(
+        self, medium_dataset, trained, registry
+    ):
+        _, frozen = trained
+        eng = make_engine(medium_dataset, frozen)
+        reqs = make_requests(eng.store, 160, 5e5)
+        res = eng.serve(reqs, seed=2)
+        counts = [row["requests"] for row in res.report.per_replica]
+        assert sum(counts) == 160
+        assert max(counts) - min(counts) <= 1
+
+    def test_serve_metrics_and_trace_lane(
+        self, medium_dataset, trained, registry
+    ):
+        _, frozen = trained
+        eng = make_engine(medium_dataset, frozen, replicas=[0])
+        reqs = make_requests(eng.store, 60, 5e5)
+        res = eng.serve(reqs, seed=2)
+        assert registry.total("serve_requests_total") == 60
+        assert registry.total("serve_batches_total") == res.report.num_batches
+        lane = eng.node.gpu_memory[0].device + "/serve"
+        spans = eng.node.timeline.device_spans(lane)
+        assert len(spans) == res.report.num_batches
+        assert all(s.phase == "serve_batch" for s in spans)
+
+    def test_report_round_trip(self, medium_dataset, trained, registry,
+                               tmp_path):
+        _, frozen = trained
+        eng = make_engine(medium_dataset, frozen, replicas=[0, 1])
+        reqs = make_requests(eng.store, 50, 5e5)
+        rep = eng.serve(reqs, seed=2).report
+        path = tmp_path / "serve.json"
+        rep.save(path)
+        loaded = ServeReport.load(path)
+        assert loaded.to_dict() == rep.to_dict()
+        assert loaded.kind == "serve"
+        assert loaded.qps == pytest.approx(
+            loaded.num_requests / loaded.duration_seconds
+        )
+
+    def test_engine_validation(self, medium_dataset, trained, registry):
+        _, frozen = trained
+        store = MultiGpuGraphStore(SimNode(), medium_dataset, seed=0)
+        with pytest.raises(ValueError):
+            InferenceEngine(store, model=frozen, fanouts=[5])  # layer mismatch
+        with pytest.raises(ValueError):
+            InferenceEngine(store, routing="random")
+        with pytest.raises(ValueError):
+            InferenceEngine(store, replicas=[])
+        eng = InferenceEngine(store, model=frozen, fanouts=FANOUTS)
+        with pytest.raises(ValueError):
+            eng.serve([])
+
+
+def test_latency_summary_exactness():
+    lat = np.arange(1, 101, dtype=np.float64)
+    s = latency_summary(lat)
+    assert s["count"] == 100
+    assert s["p50"] == pytest.approx(np.percentile(lat, 50))
+    assert s["p99"] == pytest.approx(np.percentile(lat, 99))
+    assert s["min"] == 1.0 and s["max"] == 100.0
+    empty = latency_summary([])
+    assert empty["count"] == 0 and empty["p99"] is None
