@@ -40,10 +40,22 @@ class SimNode:
         #: set by :meth:`repro.faults.FaultInjector.install`; ``None`` on a
         #: healthy node (the common case — comm paths check before consulting)
         self.fault_injector = None
+        #: lazily-built :class:`repro.sim.DeviceStreams` registry (see the
+        #: ``streams`` property); reset together with the clocks
+        self._streams = None
 
     @property
     def num_gpus(self) -> int:
         return self.spec.num_gpus
+
+    @property
+    def streams(self):
+        """The node's stream registry: per-GPU compute/comm streams, the
+        host stream, synthetic trace lanes, and the event loop that drives
+        them (:class:`repro.sim.DeviceStreams`)."""
+        from repro.sim import streams_for
+
+        return streams_for(self)
 
     def gpu_names(self) -> list[str]:
         return [m.device for m in self.gpu_memory]
@@ -54,6 +66,7 @@ class SimNode:
             c.reset()
         self.host_clock.reset()
         self.timeline.clear()
+        self._streams = None
 
     def sync(self, phase: str = "wait") -> float:
         """Barrier: advance every device clock to the max; returns that time.

@@ -125,17 +125,22 @@ def distributed_memory_gather(
     trace.step_times["alltoallv_ids"] = t2 - t1
 
     # ---- step 3: local gather on every home GPU ------------------------------
-    replies: list[list[np.ndarray]] = [[None] * nr for _ in range(nr)]
+    # per-(home, requester) request-row counts — the split points of every
+    # fused gather below and the payload matrix of the step-4 accounting
+    req_counts = np.array(
+        [[id_requests[home][requester].size for requester in range(nr)]
+         for home in range(nr)],
+        dtype=np.int64,
+    )
+    replies: list[list[np.ndarray]] = []
     for home in range(nr):
         part = tensor.local_part(home)
-        total_rows = 0
-        for requester in range(nr):
-            req = id_requests[home][requester]
-            replies[home][requester] = part[req]
-            total_rows += req.size
+        # one fused gather over all requesters' rows, split per requester
+        fused = part[np.concatenate(id_requests[home])]
+        replies.append(np.split(fused, np.cumsum(req_counts[home])[:-1]))
         node.gpu_clock[home].advance(
             costmodel.gather_time(
-                total_rows * tensor.row_bytes,
+                int(req_counts[home].sum()) * tensor.row_bytes,
                 tensor.row_bytes,
                 num_gpus=1,  # purely local HBM reads
             ),
@@ -160,15 +165,14 @@ def distributed_memory_gather(
     t4 = step_mark()
     trace.step_times["alltoallv_features"] = t4 - t3
     # sum the actual reply payloads each requester received (requests can be
-    # uneven across ranks, so this is not the mean of *requested* rows)
-    reply_bytes = np.zeros(nr)
-    remote_reply_bytes = np.zeros(nr)
-    for requester in range(nr):
-        for home in range(nr):
-            nbytes = feature_replies[requester][home].nbytes
-            reply_bytes[requester] += nbytes
-            if home != requester:
-                remote_reply_bytes[requester] += nbytes
+    # uneven across ranks, so this is not the mean of *requested* rows).
+    # ``req_counts[home][requester]`` rows of ``row_bytes`` each came back on
+    # the transposed leg, so the payload matrix is one outer product — the
+    # byte counts are integer-exact in float64, identical to summing the
+    # per-array ``.nbytes`` in a Python loop.
+    payload = req_counts.T.astype(np.float64) * float(tensor.row_bytes)
+    reply_bytes = payload.sum(axis=1)
+    remote_reply_bytes = reply_bytes - np.diag(payload)
     trace.step4_bytes_per_rank = float(reply_bytes.mean())
     trace.step4_remote_bytes_per_rank = float(remote_reply_bytes.mean())
 
@@ -177,10 +181,14 @@ def distributed_memory_gather(
     for rank, rows in enumerate(per_rank_rows):
         rows = np.asarray(rows, dtype=np.int64)
         out = np.empty((rows.size, tensor.num_cols), dtype=tensor.dtype)
-        for home in range(nr):
-            pos = orders[rank][home]
-            if pos.size:
-                out[pos] = feature_replies[rank][home]
+        # the per-home reply blocks are already in bucketed (home-major)
+        # order, and the per-home position lists concatenate back to the
+        # full bucketing permutation — one fancy-index assignment replaces
+        # the per-home scatter loop
+        if rows.size:
+            out[np.concatenate(orders[rank])] = np.concatenate(
+                feature_replies[rank], axis=0
+            )
         results.append(out)
         node.gpu_clock[rank].advance(
             costmodel.elementwise_time(out.nbytes * 2), phase=phase

@@ -125,27 +125,44 @@ class GpuHashTable:
         return slots_out, found, rounds
 
     def lookup(self, keys) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(values, found)`` per key; missing keys get value -1."""
+        """Return ``(values, found)`` per key; missing keys get value -1.
+
+        Probes a whole bucket-sized window per round instead of one slot:
+        each pending key gathers ``W`` consecutive slots and resolves at
+        the *first* slot along its chain holding its own key (hit) or the
+        empty sentinel (definitive absence).  The table does not mutate
+        during lookup, so first-stop-along-the-chain gives exactly the
+        slot-at-a-time answer — in ``capacity / W`` rounds instead of up to
+        ``capacity``.
+        """
         keys = np.asarray(keys, dtype=np.int64).ravel()
         vals = np.full(keys.shape[0], EMPTY_KEY, dtype=np.int64)
         found = np.zeros(keys.shape[0], dtype=bool)
         if keys.size == 0:
             return vals, found
+        w = min(self.bucket_size, self.capacity)
+        offsets = np.arange(w, dtype=np.int64)
         pending = np.arange(keys.shape[0], dtype=np.int64)
         probe = self._home_slot(keys)
-        for _ in range(self.capacity):
+        for _ in range(-(-self.capacity // w)):
             if pending.size == 0:
                 break
-            cur = probe[pending]
-            slot_keys = self.keys[cur]
-            hit = slot_keys == keys[pending]
-            vals[pending[hit]] = self.values[cur[hit]]
-            found[pending[hit]] = True
-            miss = slot_keys == EMPTY_KEY  # definitive absence
-            resolved = hit | miss
-            nxt = pending[~resolved]
-            probe[nxt] = (probe[nxt] + 1) % self.capacity
-            pending = nxt
+            window = (probe[pending, None] + offsets[None, :]) % self.capacity
+            slot_keys = self.keys[window]
+            hit = slot_keys == keys[pending, None]
+            stop = hit | (slot_keys == EMPTY_KEY)
+            has_stop = stop.any(axis=1)
+            idx = np.flatnonzero(has_stop)
+            if idx.size:
+                cols = stop[idx].argmax(axis=1)
+                hit_idx = idx[hit[idx, cols]]
+                if hit_idx.size:
+                    slots = window[hit_idx, stop[hit_idx].argmax(axis=1)]
+                    vals[pending[hit_idx]] = self.values[slots]
+                    found[pending[hit_idx]] = True
+            # keys with no hit and no empty slot in the window probe on
+            pending = pending[~has_stop]
+            probe[pending] = (probe[pending] + w) % self.capacity
         return vals, found
 
     def set_value(self, slots, values) -> None:

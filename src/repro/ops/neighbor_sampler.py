@@ -174,9 +174,11 @@ class NeighborSampler:
                 uni = append_unique(targets, flat)
             else:
                 uni = sort_based_append_unique(targets, flat)
-            indptr = np.concatenate(
-                ([0], np.cumsum(counts))
-            ).astype(np.int64)
+            # preallocate the block's CSR bounds: one cumsum straight into
+            # the target buffer instead of concatenate+astype temporaries
+            indptr = np.empty(counts.shape[0] + 1, dtype=np.int64)
+            indptr[0] = 0
+            np.cumsum(counts, out=indptr[1:])
             blocks.append(
                 LayerBlock(
                     indptr=indptr,

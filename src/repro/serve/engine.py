@@ -35,8 +35,8 @@ import numpy as np
 
 from repro import config
 from repro.graph.storage import MultiGpuGraphStore
-from repro.hardware.clock import Span
 from repro.ops.neighbor_sampler import NeighborSampler
+from repro.sim import Event
 from repro.serve.batcher import MicroBatcher, Request
 from repro.serve.model import FrozenModel
 from repro.serve.report import ServeReport, latency_summary
@@ -174,31 +174,39 @@ class InferenceEngine:
                 continue
             abs_arrival = t0 + arrival[mine]
             clock = node.gpu_clock[rank]
+            stream = node.streams.compute(rank)
+            serve_lane = node.streams.lane(rank, "serve")
             rng = pool.rank(rank)
             rep_batches = 0
             i = 0
             while i < mine.size:
                 decision = self.batcher.next_batch(abs_arrival, i, clock.now)
-                # queueing: the replica idles until the batch closes
-                clock.wait_until(
-                    decision.close_time, phase="serve_wait", category="serve"
-                )
                 batch = mine[i:decision.last_index]
-                dispatch = clock.now
-                preds = self._execute(node_ids[batch], rank, rng)
+                # the batch-close deadline is an external event; the replica
+                # stream launches the batch behind it, idling (the queueing
+                # delay) until it fires
+                close = Event.at(decision.close_time, label="batch_close")
+                done = stream.launch(
+                    lambda b=batch: self._execute(node_ids[b], rank, rng),
+                    deps=[close],
+                    wait_phase="serve_wait", wait_category="serve",
+                    label="serve_batch",
+                )
+                completion = done.wait()
+                dispatch = done.start
+                preds = done.value
                 if predictions is not None and preds is not None:
                     predictions[batch] = preds
-                completion = clock.now
                 latencies[batch] = completion - abs_arrival[
                     i:decision.last_index
                 ]
                 # the serve lane: one span per dispatched batch
-                node.timeline.record(Span(
-                    clock.device + "/serve", dispatch, completion,
-                    phase="serve_batch", busy=True, category="serve",
+                serve_lane.record(
+                    dispatch, completion,
+                    phase="serve_batch", category="serve",
                     args={"occupancy": int(decision.count),
                           "queue_depth": int(decision.queue_depth_after)},
-                ))
+                )
                 reg.counter("serve_requests_total").inc(decision.count)
                 reg.counter("serve_batches_total").inc(1)
                 reg.histogram("serve_batch_occupancy").observe(decision.count)

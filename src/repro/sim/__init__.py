@@ -1,0 +1,36 @@
+"""Event-driven multi-stream simulation core (``repro.sim``).
+
+The stream/event vocabulary the overlap engines are built on:
+
+- :class:`~repro.sim.core.Stream` / :class:`~repro.sim.core.Event` /
+  :class:`~repro.sim.core.EventLoop` — serial per-device work queues with
+  cross-stream dependencies, drained by one deterministic loop;
+- :class:`~repro.sim.core.DeviceStreams` — per-node registry of
+  compute/comm/host streams and synthetic trace lanes
+  (``streams_for(node)`` or ``node.streams``);
+- :class:`~repro.sim.window.VirtualStream` /
+  :class:`~repro.sim.window.OverlapWindow` — relative-time overlap
+  planning that preserves the legacy engines' float arithmetic bit for bit
+  (see the module docstring for why that matters).
+"""
+
+from repro.sim.core import (
+    DeviceStreams,
+    Event,
+    EventLoop,
+    Stream,
+    join,
+    streams_for,
+)
+from repro.sim.window import OverlapWindow, VirtualStream
+
+__all__ = [
+    "DeviceStreams",
+    "Event",
+    "EventLoop",
+    "Stream",
+    "join",
+    "streams_for",
+    "OverlapWindow",
+    "VirtualStream",
+]

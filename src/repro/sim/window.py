@@ -1,0 +1,102 @@
+"""Relative-time overlap planning: virtual streams and overlap windows.
+
+The overlap engines plan their concurrency in *window-relative* time before
+any real clock moves: the grad-sync planner schedules bucket all-reduces
+against the backward window with t=0 at the sync point, and the pipelined
+executor weighs a train op against the prefetch that ran concurrently.
+Planning relative and committing absolute is not a style choice — it is the
+bit-identity contract.  Computing ``(w0 + train) - (w0 + prefetch)`` in
+absolute time is **not** bitwise equal to ``train - prefetch`` in floating
+point, so a scheduler that subtracted absolute timestamps would drift from
+the golden reports in the last ulp.  The :class:`VirtualStream` cursor
+arithmetic below reproduces the legacy planners' float operation sequence
+exactly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualStream", "OverlapWindow"]
+
+
+class VirtualStream:
+    """A serial stream in window-relative time (no clock attached).
+
+    Ops are launched with a readiness floor (``not_before``); each starts at
+    ``max(not_before, cursor)`` and moves the cursor to ``start +
+    duration`` — the classic serial-queue recurrence, identical float-by-
+    float to the legacy ``stream_free`` loop of ``plan_grad_sync``.
+    """
+
+    __slots__ = ("cursor", "starts", "ends")
+
+    def __init__(self) -> None:
+        self.cursor = -float("inf")
+        self.starts: list[float] = []
+        self.ends: list[float] = []
+
+    def launch(
+        self, duration: float, not_before: float = 0.0
+    ) -> tuple[float, float]:
+        """Enqueue an op; returns its ``(start, end)`` in window time."""
+        start = max(not_before, self.cursor)
+        self.cursor = start + duration
+        self.starts.append(start)
+        self.ends.append(self.cursor)
+        return start, self.cursor
+
+    @property
+    def makespan(self) -> float:
+        """End of the last op (``-inf`` when nothing was launched)."""
+        return self.cursor
+
+
+class OverlapWindow:
+    """One overlap region: concurrent virtual work vs already-charged time.
+
+    A window opens when two activities begin running concurrently — e.g.
+    batch *i*'s training compute against batch *i+1*'s prefetch.  One side
+    executes for real and charges the device clock (tracked via
+    :meth:`charge`); the other side is planned on virtual streams.  At
+    close, only the planned work's tail past the charged time is *exposed*
+    on the critical path:
+
+    ``exposed = max(0.0, makespan - charged)``
+
+    which for a single op of duration ``d`` against charged time ``c`` is
+    bitwise ``max(0.0, d - c)`` — the legacy double-buffering formula.
+    """
+
+    __slots__ = ("charged", "_streams")
+
+    def __init__(self, charged: float = 0.0) -> None:
+        self.charged = charged
+        self._streams: dict[str, VirtualStream] = {}
+
+    def stream(self, name: str) -> VirtualStream:
+        """The named virtual stream of this window (created on first use)."""
+        vs = self._streams.get(name)
+        if vs is None:
+            vs = VirtualStream()
+            self._streams[name] = vs
+        return vs
+
+    def charge(self, dt: float) -> None:
+        """Account real clock time that elapsed inside the window."""
+        self.charged += dt
+
+    @property
+    def makespan(self) -> float:
+        """Latest virtual-stream end (0.0 with no virtual work)."""
+        if not self._streams:
+            return 0.0
+        return max(vs.makespan for vs in self._streams.values())
+
+    @property
+    def exposed(self) -> float:
+        """Virtual work not hidden behind the charged time."""
+        return max(0.0, self.makespan - self.charged)
+
+    @property
+    def hidden(self) -> float:
+        """Virtual work that the charged time fully covered."""
+        return self.makespan - self.exposed

@@ -7,7 +7,10 @@ or ``chrome://tracing``:
 - one **process** (pid) per simulated machine node — device names carry the
   node prefix (``n1.gpu0``); unprefixed devices belong to node 0;
 - one **thread** (tid) per device, with ``process_name``/``thread_name``
-  metadata events so the UI shows real names;
+  metadata events so the UI shows real names; *stream lanes* — devices named
+  ``<base>/<stream>`` by the :mod:`repro.sim` scheduler (``gpu0/nccl``,
+  ``gpu3/serve``) — are grouped directly under their base device row via
+  ``thread_sort_index``, so each GPU renders as a stack of its streams;
 - one complete (``"ph": "X"``) event per span, carrying the span's phase as
   the event name, its category, and its ``args`` dict (plus the busy flag);
 - optional **counter** (``"ph": "C"``) tracks from a
@@ -41,6 +44,31 @@ def _split_device(device: str) -> tuple[int, str]:
     return 0, device
 
 
+def _lane_order(devices: list[str]) -> list[str]:
+    """Group each stream lane (``<base>/<stream>``) behind its base device.
+
+    Base devices keep first-seen order; a base's lanes follow it directly
+    (in their own first-seen order), so Perfetto renders every GPU as a
+    stack of its streams even when a lane's first span was recorded long
+    after other devices appeared.
+    """
+    bases: list[str] = []
+    lanes: dict[str, list[str]] = {}
+    for device in devices:
+        base = device.split("/", 1)[0]
+        if base not in lanes:
+            bases.append(base)
+            lanes[base] = []
+        if device != base:
+            lanes[base].append(device)
+    out: list[str] = []
+    for base in bases:
+        if base in devices:
+            out.append(base)
+        out.extend(lanes[base])
+    return out
+
+
 def trace_events(
     timeline: Timeline,
     metrics: MetricsRegistry | None = None,
@@ -52,7 +80,7 @@ def trace_events(
     pids: set[int] = set()
     next_tid: dict[int, int] = {}
 
-    for device in timeline.devices():
+    for device in _lane_order(timeline.devices()):
         pid, local = _split_device(device)
         tid = next_tid.get(pid, 0)
         next_tid[pid] = tid + 1
@@ -66,6 +94,10 @@ def trace_events(
         events.append({
             "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
             "args": {"name": local},
+        })
+        events.append({
+            "ph": "M", "name": "thread_sort_index", "pid": pid, "tid": tid,
+            "args": {"sort_index": tid},
         })
 
     for span in timeline.spans:

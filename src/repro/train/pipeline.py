@@ -31,10 +31,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.hardware.clock import Span
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 from repro.ops.neighbor_sampler import NeighborSampler, SampledSubgraph
+from repro.sim import OverlapWindow, VirtualStream, join
 from repro.telemetry import metrics
 from repro.train.metrics import PhaseTimes, accuracy
 
@@ -210,12 +210,13 @@ class PipelinedExecutor:
             self.store, self.sampler, seeds, self.rank, rng
         )
         if mirror_ranks:
+            streams = self.node.streams
             for r in range(self.node.num_gpus):
                 if r == self.rank:
                     continue
-                clk = self.node.gpu_clock[r]
-                clk.advance(t_sample, phase="sample")
-                clk.advance(t_gather, phase="gather")
+                stream = streams.compute(r)
+                stream.launch(t_sample, phase="sample")
+                stream.launch(t_gather, phase="gather")
         self._staged = (sg, x_np)
         self.last_sample_time = t_sample
         self.last_gather_time = t_gather
@@ -239,16 +240,21 @@ class PipelinedExecutor:
     ) -> float:
         """Charge the exposed tail of an overlapped train phase.
 
-        ``prefetch_time`` already advanced the clock while the training
-        compute ran concurrently, so only ``max(0, train - prefetch)`` is
-        exposed.  Returns the exposed duration.
+        The train compute of batch *i* ran concurrently with the prefetch
+        of batch *i+1*, which already advanced the clock: an
+        :class:`~repro.sim.OverlapWindow` weighs the two, and only the
+        train op's exposed tail is launched on the compute streams.
+        Returns the exposed duration.
         """
-        exposed = max(0.0, train_time - prefetch_time)
+        window = OverlapWindow(charged=prefetch_time)
+        window.stream("compute").launch(train_time)
+        exposed = window.exposed
+        streams = self.node.streams
         targets = (
             range(self.node.num_gpus) if ranks is None else ranks
         )
         for r in targets:
-            self.node.gpu_clock[r].advance(
+            streams.compute(r).launch(
                 exposed, phase=phase, category="compute",
                 args={"train_time": train_time,
                       "hidden_by_prefetch": train_time - exposed},
@@ -332,24 +338,21 @@ def plan_grad_sync(
     if not producers:
         producers = [(0.0, 0.0)]
     total = float(sum(bucket_nbytes))
-    starts: list[float] = []
-    ends: list[float] = []
-    stream_free = -float("inf")
+    # the serial comm stream, in sync-point-relative time: each bucket is
+    # launched behind its readiness floor, and the stream cursor serializes
+    comm = VirtualStream()
     cum = 0.0
     for j in range(k):
         cum += bucket_nbytes[j]
         frac = cum / total if total > 0 else 1.0
         ready = max(end - w * (1.0 - frac) for end, w in producers)
-        start = max(ready, stream_free)
-        stream_free = start + bucket_times[j]
-        starts.append(start)
-        ends.append(stream_free)
-    exposed = max(0.0, ends[-1])
+        comm.launch(bucket_times[j], not_before=ready)
+    exposed = max(0.0, comm.ends[-1])
     return GradSyncPlan(
         bucket_nbytes=tuple(int(b) for b in bucket_nbytes),
         bucket_times=tuple(float(t) for t in bucket_times),
-        starts=tuple(starts),
-        ends=tuple(ends),
+        starts=tuple(comm.starts),
+        ends=tuple(comm.ends),
         exposed=exposed,
     )
 
@@ -362,42 +365,45 @@ def charge_grad_sync(
 ) -> float:
     """Stamp a :class:`GradSyncPlan` onto the simulated clocks.
 
-    All GPU clocks of ``nodes`` (one :class:`SimNode` or a list of them)
-    first align to the max clock — the collective's entry barrier, recorded
-    as the distinct non-busy ``wait_phase`` — then advance together by the
-    plan's *exposed* tail only: the hidden portion already ran under the
-    backward compute that the producing clocks charged.  Each node's
-    timeline additionally gets the full bucket-by-bucket schedule on a
-    ``<gpu0>/nccl`` comm-stream lane so the overlap is visible in the
-    Chrome trace.  Returns the sync-point time.
+    The compute streams of every GPU of ``nodes`` (one :class:`SimNode` or
+    a list of them) first :func:`~repro.sim.join` — the collective's entry
+    barrier, recorded as the distinct non-busy ``wait_phase`` — then each
+    launches the plan's *exposed* tail behind the barrier event: the hidden
+    portion already ran under the backward compute that the producing
+    clocks charged.  The full bucket-by-bucket schedule is committed onto
+    each node's ``<gpu0>/nccl`` comm-stream lane so the overlap is visible
+    in the Chrome trace.  Returns the sync-point time.
     """
     node_list = nodes if isinstance(nodes, (list, tuple)) else [nodes]
-    clocks = [c for n in node_list for c in n.gpu_clock]
-    sync_point = max(c.now for c in clocks)
-    for clock in clocks:
-        clock.wait_until(sync_point, phase=wait_phase, category="comm")
+    compute = [
+        n.streams.compute(r)
+        for n in node_list
+        for r in range(n.num_gpus)
+    ]
+    barrier = join(compute, phase=wait_phase, category="comm")
+    sync_point = barrier.time
     span_args = {
         "buckets": plan.num_buckets,
         "total_comm_us": round(plan.total_comm / 1e-6, 3),
         "hidden_us": round(plan.hidden / 1e-6, 3),
     }
     if plan.exposed > 0.0:
-        for clock in clocks:
-            clock.advance(plan.exposed, phase=phase, category="comm",
-                          args=span_args)
+        for stream in compute:
+            stream.launch(plan.exposed, deps=[barrier], phase=phase,
+                          category="comm", args=span_args)
     for n in node_list:
-        stream_dev = n.gpu_clock[0].device + "/nccl"
+        lane = n.streams.comm(0)
         for j in range(plan.num_buckets):
             start = sync_point + plan.starts[j]
             end = sync_point + plan.ends[j]
             if end <= start:
                 continue
-            n.timeline.record(Span(
-                stream_dev, max(0.0, start), max(0.0, end),
-                phase="allreduce_bucket", busy=True, category="comm",
+            lane.record(
+                max(0.0, start), max(0.0, end),
+                phase="allreduce_bucket", category="comm",
                 args={"bucket": j, "nbytes": plan.bucket_nbytes[j],
                       "hidden": plan.ends[j] <= 0.0},
-            ))
+            )
     reg = metrics.get_registry()
     reg.counter("phase_seconds_total", phase=phase).inc(plan.exposed)
     reg.counter("grad_sync_comm_seconds_total").inc(plan.total_comm)

@@ -59,7 +59,36 @@ def test_trace_roundtrip_small_timeline():
     assert wait["args"]["busy"] is False and wait["cat"] == "idle"
     # process/thread metadata names every lane
     meta = [e for e in events if e["ph"] == "M"]
-    assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+    assert {e["name"] for e in meta} == {
+        "process_name", "thread_name", "thread_sort_index",
+    }
+
+
+def test_trace_groups_stream_lanes_under_base_device():
+    """``<base>/<stream>`` lanes get tids directly after their base row,
+    regardless of when the lane's first span was recorded."""
+    tl = Timeline()
+    g0 = SimClock("gpu0", tl)
+    g1 = SimClock("gpu1", tl)
+    nccl0 = SimClock("gpu0/nccl", tl)
+    g0.advance(1e-3, phase="train")
+    g1.advance(1e-3, phase="train")
+    # the lane appears *after* gpu1 in first-seen order...
+    nccl0.advance(2e-3, phase="allreduce_bucket")
+    events = trace_events(tl)
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    # ...but still renders directly under gpu0
+    assert names == {0: "gpu0", 1: "gpu0/nccl", 2: "gpu1"}
+    sort_keys = {
+        e["tid"]: e["args"]["sort_index"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_sort_index"
+    }
+    assert sort_keys == {0: 0, 1: 1, 2: 2}
 
 
 def test_trace_exclude_waits():
