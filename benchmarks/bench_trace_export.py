@@ -8,7 +8,11 @@ hot-row cache enabled, then writes
   GPU, spans labeled sample/gather/train, counter tracks for per-link
   bytes and the cache hit rate;
 - ``results/run_report_epoch.json`` — the structured run manifest
-  ``benchmarks/compare_runs.py`` diffs between commits.
+  ``benchmarks/compare_runs.py`` diffs between commits;
+- ``results/analysis_epoch.json`` — the span-level
+  :class:`~repro.telemetry.analysis.AnalysisReport` (critical path, blame,
+  overlap, what-ifs), with its critical-path summary pretty-printed into
+  the benchmark log.
 """
 
 import json
@@ -17,6 +21,7 @@ from benchmarks.conftest import RESULTS_DIR, run_once
 from repro.graph import MultiGpuGraphStore, load_dataset
 from repro.hardware import SimNode
 from repro.telemetry import metrics
+from repro.telemetry.analysis import analyze_node, render_text
 from repro.telemetry.trace import export_chrome_trace
 from repro.train import WholeGraphTrainer
 
@@ -50,6 +55,13 @@ def test_trace_export_epoch(benchmark, emit):
     report = trainer.run_report(name="trace_epoch_demo")
     report.save(RESULTS_DIR / "run_report_epoch.json")
 
+    analysis = analyze_node(
+        node, metrics=metrics.get_registry(), name="trace_epoch_demo"
+    )
+    analysis.save(RESULTS_DIR / "analysis_epoch.json")
+    assert analysis.critical_path["covered"] == analysis.makespan
+    assert analysis.makespan == stats.epoch_time
+
     emit(
         "trace_export",
         "\n".join([
@@ -59,5 +71,7 @@ def test_trace_export_epoch(benchmark, emit):
             f"({len(span_events)} spans, {len(counter_events)} counter "
             f"samples) — open in https://ui.perfetto.dev",
             f"run report: {RESULTS_DIR / 'run_report_epoch.json'}",
+            f"analysis report: {RESULTS_DIR / 'analysis_epoch.json'}",
+            render_text(analysis, top=5).rstrip(),
         ]),
     )

@@ -24,6 +24,29 @@ import sys
 DEFAULT_TOLERANCE = 0.10
 
 
+def worst_regressor(baseline: dict, candidate: dict) -> dict | None:
+    """Attribute the time delta to phases; name the worst regressor.
+
+    A stdlib re-statement of
+    ``repro.telemetry.analysis.diff.attribute_regression`` (this tool must
+    run against manifests from any commit without importing ``repro``):
+    each phase's positive delta is given its share of the summed positive
+    delta, and the largest one wins.  Returns ``{"phase", "delta",
+    "share"}`` or ``None`` when nothing grew.
+    """
+    base = {k: float(v) for k, v in (baseline.get("phase_totals") or {}).items()}
+    cand = {k: float(v) for k, v in (candidate.get("phase_totals") or {}).items()}
+    deltas = {
+        k: cand.get(k, 0.0) - base.get(k, 0.0)
+        for k in set(base) | set(cand)
+    }
+    pos_total = sum(d for d in deltas.values() if d > 0)
+    if pos_total <= 0:
+        return None
+    phase, delta = max(deltas.items(), key=lambda kv: (kv[1], kv[0]))
+    return {"phase": phase, "delta": delta, "share": delta / pos_total}
+
+
 def _fmt_delta(old: float, new: float) -> str:
     pct = 100.0 * (new - old) / old if old else float("inf")
     return f"{old:.6g} -> {new:.6g} ({pct:+.1f}%)"
@@ -106,8 +129,14 @@ def main(argv: list[str] | None = None) -> int:
     for regression in regressions:
         print(f"REGRESSION: {regression}")
     if regressions:
+        worst = worst_regressor(baseline, candidate)
+        blame = (
+            f"; worst regressor: {worst['phase']!r} "
+            f"(+{worst['delta']:.6g}s, {worst['share']:.0%} of the growth)"
+            if worst else ""
+        )
         print(f"{len(regressions)} regression(s) beyond "
-              f"{args.tolerance:.0%} tolerance")
+              f"{args.tolerance:.0%} tolerance{blame}")
         return 1
     print("no regressions")
     return 0

@@ -56,8 +56,13 @@ class Communicator:
         )
         self.node.gpu_clock[src].wait_until(start)
         self.node.gpu_clock[dst].wait_until(start)
-        self.node.gpu_clock[src].advance(t, phase=phase)
-        self.node.gpu_clock[dst].advance(t, phase=phase)
+        args = {"nbytes": int(data.nbytes), "src": src, "dst": dst}
+        self.node.gpu_clock[src].advance(
+            t, phase=phase, category="comm", args=args
+        )
+        self.node.gpu_clock[dst].advance(
+            t, phase=phase, category="comm", args=args
+        )
         return data.copy()
 
     # -- collectives ------------------------------------------------------------
@@ -80,7 +85,10 @@ class Communicator:
             + (self.num_ranks - 1) * nbytes_each / bw
         )
         for clock in self.node.gpu_clock:
-            clock.advance(t, phase=phase)
+            clock.advance(
+                t, phase=phase, category="comm",
+                args={"nbytes": int((self.num_ranks - 1) * nbytes_each)},
+            )
         return [list(per_rank_objects) for _ in range(self.num_ranks)]
 
     def alltoallv(
@@ -108,7 +116,12 @@ class Communicator:
         for rank in range(self.num_ranks):
             traffic = max(out_bytes[rank], in_bytes[rank])
             t = (self.num_ranks - 1) * self.latency + traffic / bw
-            self.node.gpu_clock[rank].advance(t, phase=phase)
+            self.node.gpu_clock[rank].advance(
+                t, phase=phase, category="comm",
+                args={"nbytes": int(traffic),
+                      "out_bytes": int(out_bytes[rank]),
+                      "in_bytes": int(in_bytes[rank])},
+            )
         self.node.sync()
         return recv
 
@@ -156,7 +169,10 @@ class Communicator:
             self.latency,
         )
         for clock in self.node.gpu_clock:
-            clock.advance(t, phase=phase)
+            clock.advance(
+                t, phase=phase, category="comm",
+                args={"nbytes": int(data.nbytes), "root": root},
+            )
         return [data.copy() for _ in range(self.num_ranks)]
 
     def _check_ranks(self, seq) -> None:

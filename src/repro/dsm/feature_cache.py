@@ -214,7 +214,9 @@ class FeatureCache:
         self.node.gpu_clock[rank].advance(
             t, phase=phase, category="gather",
             args={"rows": int(rows.size), "cache_hits": num_hits,
-                  "remote_miss_rows": remote_miss},
+                  "remote_miss_rows": remote_miss,
+                  "bytes": int(rows.size * self.row_bytes),
+                  "remote_bytes": int(remote_miss * self.row_bytes)},
         )
 
         num_misses = rows.size - num_hits

@@ -180,7 +180,12 @@ class WholeTensor:
             t = costmodel.pcie_host_to_gpu_time(
                 part.shape[0] * self.row_bytes, shared=True
             )
-            self.node.gpu_clock[rank].advance(t, phase=phase)
+            self.node.gpu_clock[rank].advance(
+                t, phase=phase, category="pcie",
+                args={"rows": int(part.shape[0]),
+                      "bytes": int(part.shape[0] * self.row_bytes),
+                      "tensor": self.tag},
+            )
         self.node.sync()
         return t
 
@@ -279,13 +284,19 @@ class WholeTensor:
             if np.any(mask):
                 self._parts[r][local_rows[mask]] = values[mask]
         remote = float(np.count_nonzero(owners != rank)) / max(rows.size, 1)
+        total_bytes = rows.size * self.row_bytes
         t = costmodel.gather_time(
-            rows.size * self.row_bytes,
+            total_bytes,
             self.row_bytes,
             self.node.num_gpus,
             remote_fraction=remote,
         )
-        self.node.gpu_clock[rank].advance(t, phase=phase)
+        self.node.gpu_clock[rank].advance(
+            t, phase=phase, category="gather",
+            args={"rows": int(rows.size), "bytes": int(total_bytes),
+                  "remote_bytes": int(round(total_bytes * remote)),
+                  "tensor": self.tag},
+        )
 
     # -- lifecycle -------------------------------------------------------------
 

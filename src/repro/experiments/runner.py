@@ -61,13 +61,17 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(name: str, report_dir=None) -> bool:
+def run_experiment(name: str, report_dir=None, analyze: bool = False) -> bool:
     """Run one experiment end-to-end; returns True on shape-check success.
 
     With ``report_dir`` set, a ``<name>.json`` :class:`RunReport` manifest
     is written there: the experiment's serialized rows, the per-phase time
     totals and the full metrics snapshot the run accumulated (the registry
-    is reset first so the manifest is scoped to this experiment).
+    is reset first so the manifest is scoped to this experiment).  With
+    ``analyze`` also set, the manifest is fed through
+    :mod:`repro.telemetry.analysis` and a ``<name>.analysis.json``
+    bottleneck report (phase blame, overlap, what-if bounds) lands next
+    to it.
     """
     module, kwargs = EXPERIMENTS[name]
     print(f"== {name}: {module.__doc__.strip().splitlines()[0]}")
@@ -107,6 +111,13 @@ def run_experiment(name: str, report_dir=None) -> bool:
         path = report_dir / f"{name}.json"
         manifest.save(path)
         print(f"run report written to {path}")
+        if analyze:
+            from repro.telemetry.analysis import analyze_report
+
+            analysis = analyze_report(manifest.to_dict(), name=name)
+            analysis_path = report_dir / f"{name}.analysis.json"
+            analysis.save(analysis_path)
+            print(f"analysis report written to {analysis_path}")
     return ok
 
 
@@ -125,6 +136,9 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: runs/)")
     parser.add_argument("--no-report", action="store_true",
                         help="skip writing RunReport manifests")
+    parser.add_argument("--analyze", action="store_true",
+                        help="also write <name>.analysis.json bottleneck "
+                             "reports next to each manifest")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -140,7 +154,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiments: {unknown}; see --list")
 
     report_dir = None if args.no_report else args.report_dir
-    ok = all([run_experiment(name, report_dir=report_dir) for name in names])
+    ok = all([
+        run_experiment(name, report_dir=report_dir, analyze=args.analyze)
+        for name in names
+    ])
     return 0 if ok else 1
 
 

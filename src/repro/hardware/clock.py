@@ -117,7 +117,12 @@ class SimClock:
         if dt < 0:
             raise ValueError(f"cannot advance clock by negative dt={dt}")
         if self.scale_hook is not None and busy and dt > 0:
-            dt = self.scale_hook(dt, phase, self.now)
+            scaled = self.scale_hook(dt, phase, self.now)
+            if scaled != dt and dt > 0:
+                # stamp the dilation factor so the performance analyzer's
+                # "remove straggler" what-if knob can undo exactly this span
+                args = {**(args or {}), "dilation": scaled / dt}
+            dt = scaled
         start = self.now
         self.now = start + dt
         if self.timeline is not None and dt > 0:

@@ -110,7 +110,9 @@ def distributed_memory_gather(
         orders.append(np.split(order, splits))
         # one pass over the IDs: read id, compute owner, write to bucket
         node.gpu_clock[rank].advance(
-            costmodel.elementwise_time(rows.nbytes * 2), phase=phase
+            costmodel.elementwise_time(rows.nbytes * 2), phase=phase,
+            args={"step": "bucket_ids", "rows": int(rows.size),
+                  "bytes": int(rows.nbytes)},
         )
     t1 = step_mark()
     trace.step_times["bucket_ids"] = t1 - t_start
@@ -144,7 +146,10 @@ def distributed_memory_gather(
                 tensor.row_bytes,
                 num_gpus=1,  # purely local HBM reads
             ),
-            phase=phase,
+            phase=phase, category="gather",
+            args={"step": "local_gather",
+                  "rows": int(req_counts[home].sum()),
+                  "bytes": int(req_counts[home].sum() * tensor.row_bytes)},
         )
     t3 = step_mark()
     trace.step_times["local_gather"] = t3 - t2
@@ -191,7 +196,9 @@ def distributed_memory_gather(
             )
         results.append(out)
         node.gpu_clock[rank].advance(
-            costmodel.elementwise_time(out.nbytes * 2), phase=phase
+            costmodel.elementwise_time(out.nbytes * 2), phase=phase,
+            args={"step": "reorder", "rows": int(rows.size),
+                  "bytes": int(out.nbytes)},
         )
     t5 = step_mark()
     trace.step_times["reorder"] = t5 - t4

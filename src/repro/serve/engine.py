@@ -112,6 +112,8 @@ class InferenceEngine:
         self.replicas = [int(r) for r in replicas]
         self.routing = routing
         self.name = name
+        #: stage-time stash of the most recent :meth:`_execute` call
+        self._last_exec: dict = {}
 
     # -- routing ----------------------------------------------------------------
 
@@ -130,12 +132,22 @@ class InferenceEngine:
 
     # -- the serve loop ----------------------------------------------------------
 
-    def serve(self, requests: list[Request], seed: int = 0) -> ServeResult:
+    def serve(
+        self, requests: list[Request], seed: int = 0, analysis: bool = False,
+    ) -> ServeResult:
         """Serve a simulated request stream; returns the :class:`ServeResult`.
 
         Deterministic: the same requests, seed and engine configuration give
         a byte-identical scrubbed :class:`ServeReport`.  ``seed`` feeds the
         per-replica sampling RNG streams (unused in embedding mode).
+
+        ``analysis=True`` additionally decomposes every request's latency
+        into queue-wait / sample / gather / infer stages and attaches a
+        ``latency_blame`` block (which stage owns the p99 tail) plus a
+        rolling-window ``timeseries`` (QPS, queue depth, latency — the
+        signals a replica autoscaler consumes) to the report.  Analysis is
+        pure observation: it never charges a clock, so the schedule and all
+        SLO numbers are bit-identical with it on or off.
         """
         if not requests:
             raise ValueError("empty request stream")
@@ -161,6 +173,16 @@ class InferenceEngine:
         occupancies: list[int] = []
         per_replica_rows = []
         last_completion = t0
+        # per-request stage decomposition (analysis mode): every request in
+        # a batch shares the batch's service-stage times, but owns its own
+        # queueing delay (dispatch - arrival)
+        stage_names = ("queue_wait", "sample", "gather", "infer", "other")
+        stages = (
+            {s: np.zeros(n, dtype=np.float64) for s in stage_names}
+            if analysis else None
+        )
+        batch_rows: list[dict] = []
+        completion_at = np.zeros(n, dtype=np.float64) if analysis else None
 
         for ri, rank in enumerate(self.replicas):
             mine = order[replica_idx[order] == ri]
@@ -195,18 +217,42 @@ class InferenceEngine:
                 completion = done.wait()
                 dispatch = done.start
                 preds = done.value
+                exec_info = self._last_exec
                 if predictions is not None and preds is not None:
                     predictions[batch] = preds
                 latencies[batch] = completion - abs_arrival[
                     i:decision.last_index
                 ]
-                # the serve lane: one span per dispatched batch
+                # the serve lane: one span per dispatched batch, carrying
+                # the batch's payload sizes for Perfetto and the analyzer
                 serve_lane.record(
                     dispatch, completion,
                     phase="serve_batch", category="serve",
                     args={"occupancy": int(decision.count),
-                          "queue_depth": int(decision.queue_depth_after)},
+                          "queue_depth": int(decision.queue_depth_after),
+                          "rows": int(exec_info.get("rows", 0)),
+                          "input_nodes": int(exec_info.get("input_nodes", 0))},
                 )
+                if analysis:
+                    service = completion - dispatch
+                    charged = (exec_info.get("sample", 0.0)
+                               + exec_info.get("gather", 0.0)
+                               + exec_info.get("infer", 0.0))
+                    stages["queue_wait"][batch] = dispatch - abs_arrival[
+                        i:decision.last_index
+                    ]
+                    stages["sample"][batch] = exec_info.get("sample", 0.0)
+                    stages["gather"][batch] = exec_info.get("gather", 0.0)
+                    stages["infer"][batch] = exec_info.get("infer", 0.0)
+                    stages["other"][batch] = max(0.0, service - charged)
+                    completion_at[batch] = completion
+                    batch_rows.append({
+                        "rank": rank,
+                        "dispatch": float(dispatch),
+                        "completion": float(completion),
+                        "count": int(decision.count),
+                        "queue_depth": int(decision.queue_depth_after),
+                    })
                 reg.counter("serve_requests_total").inc(decision.count)
                 reg.counter("serve_batches_total").inc(1)
                 reg.histogram("serve_batch_occupancy").observe(decision.count)
@@ -254,6 +300,15 @@ class InferenceEngine:
                           "serve_gather", "serve_infer")
             },
             metrics=reg.snapshot(),
+            latency_blame=(
+                _latency_blame(latencies, stages) if analysis else None
+            ),
+            timeseries=(
+                _serve_timeseries(
+                    t0, duration, arrival + t0, completion_at,
+                    latencies, batch_rows,
+                ) if analysis else None
+            ),
         )
         return ServeResult(
             latencies=latencies,
@@ -271,28 +326,45 @@ class InferenceEngine:
         (embedding mode, where the gathered rows are the response).
         """
         node = self.node
+        clock = node.gpu_clock[rank]
         if self.sampler is not None:
             # a batch may ask for the same node twice; dedupe before
             # sampling (AppendUnique requires unique targets) and fan the
             # answer back out — the compute is shared, as a real server
             # coalescing identical queries would share it
             uniq, inverse = np.unique(seeds, return_inverse=True)
+            t0 = clock.now
             sub = self.sampler.sample(uniq, rank, rng, phase="serve_sample")
+            t1 = clock.now
             feats = self.store.gather_features(
                 sub.input_nodes, rank, phase="serve_gather"
             )
+            t2 = clock.now
+            self._last_exec = {
+                "sample": t1 - t0, "gather": t2 - t1, "infer": 0.0,
+                "rows": int(uniq.shape[0]),
+                "input_nodes": int(sub.input_nodes.shape[0]),
+            }
             if self.model is not None:
                 logits = self.model(sub, feats)
-                node.gpu_clock[rank].advance(
+                clock.advance(
                     self.model.estimate_inference_time(sub),
                     phase="serve_infer", category="serve",
                     args={"seeds": int(uniq.shape[0]),
                           "input_nodes": int(sub.input_nodes.shape[0])},
                 )
+                self._last_exec["infer"] = clock.now - t2
                 return logits.argmax(axis=-1)[inverse]
             return None
+        t0 = clock.now
         self.store.gather_features(seeds, rank, phase="serve_gather")
+        self._last_exec = {
+            "sample": 0.0, "gather": clock.now - t0, "infer": 0.0,
+            "rows": int(seeds.shape[0]), "input_nodes": int(seeds.shape[0]),
+        }
         return None
+
+    # -- analysis helpers (opt-in; never touch a clock) --------------------------
 
     def _config_dict(self) -> dict:
         """The engine configuration block of the :class:`ServeReport`."""
@@ -307,3 +379,95 @@ class InferenceEngine:
             "cache_enabled": self.store.feature_cache is not None,
             "feature_location": self.store.feature_location,
         }
+
+
+def _latency_blame(latencies: np.ndarray, stages: dict) -> dict:
+    """Decompose mean and p99-tail latency into serving stages.
+
+    ``stages`` maps stage name -> per-request seconds (queue_wait / sample /
+    gather / infer / other); every request in a batch shares the batch's
+    service-stage times but owns its queueing delay.  The ``p99_tail`` block
+    answers the SLO question directly: *which stage owns the tail* — the
+    batcher's deadline (queue_wait), sampling, the DSM gather, or the
+    forward pass.
+    """
+    lat = np.asarray(latencies, dtype=np.float64)
+    p99 = float(np.percentile(lat, 99.0))
+    names = sorted(stages)
+
+    def block(mask: np.ndarray) -> dict:
+        mean_lat = float(lat[mask].mean()) if mask.any() else 0.0
+        seconds = {
+            s: (float(stages[s][mask].mean()) if mask.any() else 0.0)
+            for s in names
+        }
+        fraction = {
+            s: (seconds[s] / mean_lat if mean_lat > 0 else 0.0)
+            for s in names
+        }
+        worst = max(names, key=lambda s: seconds[s])
+        return {
+            "requests": int(mask.sum()),
+            "mean_latency": mean_lat,
+            "seconds": seconds,
+            "fraction": fraction,
+            "worst_stage": worst,
+        }
+
+    return {
+        "p99_latency": p99,
+        "all": block(np.ones(lat.size, dtype=bool)),
+        "p99_tail": block(lat >= p99),
+    }
+
+
+def _serve_timeseries(
+    t0: float,
+    duration: float,
+    abs_arrival: np.ndarray,
+    completion_at: np.ndarray,
+    latencies: np.ndarray,
+    batch_rows: list,
+    num_windows: int = 20,
+) -> dict:
+    """Rolling-window QPS / queue-depth / latency series over a serve run.
+
+    Windows tile ``[t0, t0 + duration]``; per window the series reports
+    offered load (arrivals), completed throughput (QPS), the max batcher
+    queue depth observed at a dispatch, and the mean/max latency of the
+    requests that completed in the window.  Times in the output are offsets
+    from serve start, so same-seed runs emit byte-identical series.  This is
+    the signal ROADMAP item 4's replica autoscaler consumes.
+    """
+    if duration <= 0 or abs_arrival.size == 0:
+        num_windows = 1
+        duration = max(duration, 0.0)
+    width = duration / num_windows if duration > 0 else 0.0
+    edges = t0 + duration * np.arange(1, num_windows + 1) / num_windows
+    # half-open (prev, edge] windows; clip the first to include t0 exactly
+    arr_bin = np.clip(
+        np.searchsorted(edges, abs_arrival, side="left"), 0, num_windows - 1
+    )
+    done_bin = np.clip(
+        np.searchsorted(edges, completion_at, side="left"), 0, num_windows - 1
+    )
+    windows = []
+    for k in range(num_windows):
+        done_mask = done_bin == k
+        n_done = int(done_mask.sum())
+        lat_k = latencies[done_mask]
+        depths = [
+            row["queue_depth"] for row in batch_rows
+            if (k == 0 or row["dispatch"] > edges[k - 1])
+            and row["dispatch"] <= edges[k]
+        ]
+        windows.append({
+            "t_end": float(edges[k] - t0),
+            "arrivals": int((arr_bin == k).sum()),
+            "completed": n_done,
+            "qps": (n_done / width) if width > 0 else 0.0,
+            "queue_depth_max": max(depths) if depths else None,
+            "latency_mean": float(lat_k.mean()) if n_done else None,
+            "latency_max": float(lat_k.max()) if n_done else None,
+        })
+    return {"window_seconds": width, "windows": windows}

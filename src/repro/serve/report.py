@@ -80,11 +80,27 @@ class ServeReport:
     #: metrics-registry snapshot at the end of the run
     metrics: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
+    #: rolling-window QPS / queue-depth / latency series (autoscaler input);
+    #: only present when the engine ran with ``analysis=True``
+    timeseries: dict | None = None
+    #: per-stage latency decomposition of the p99 tail (queue wait vs
+    #: sample vs gather vs infer); only present with ``analysis=True``
+    latency_blame: dict | None = None
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> dict:
-        """JSON-safe dict view (numpy scalars/arrays converted)."""
-        return json_safe(dataclasses.asdict(self))
+        """JSON-safe dict view (numpy scalars/arrays converted).
+
+        The opt-in analysis blocks (``timeseries``, ``latency_blame``) are
+        omitted entirely when unset so reports from engines that never asked
+        for them — including every pinned golden manifest — serialise
+        byte-identically to the pre-analysis schema.
+        """
+        out = json_safe(dataclasses.asdict(self))
+        for key in ("timeseries", "latency_blame"):
+            if out.get(key) is None:
+                out.pop(key, None)
+        return out
 
     def to_json(self, indent: int | None = 2) -> str:
         """Serialise to a JSON string."""

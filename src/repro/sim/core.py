@@ -30,17 +30,54 @@ its event time.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.hardware.clock import SimClock, Span, Timeline
 
 __all__ = [
     "Event",
     "EventLoop",
+    "OpRecord",
     "Stream",
     "DeviceStreams",
     "streams_for",
 ]
 
 _PENDING = object()
+
+
+@dataclass(frozen=True, slots=True)
+class OpRecord:
+    """Causal provenance of one executed op (or barrier).
+
+    The loop appends one record per retired op — pure bookkeeping, written
+    *after* all clock charging, so recording provenance cannot perturb a
+    single timestamp (the ``tests/golden/`` byte-identity contract).  The
+    analyzer (:mod:`repro.telemetry.analysis`) joins these records back to
+    timeline spans by ``(device, start, end)`` to resolve *why* a device
+    stalled: ``dep_seqs`` name the upstream events, and the one whose
+    completion time equals the stall's end is the binding dependency.
+    """
+
+    #: event seq of the op (matches ``Event.seq``); joins are loop seqs too
+    seq: int
+    label: str
+    #: clock device the op charged (lane streams use their ``.../name`` id)
+    device: str
+    stream: str
+    phase: str
+    #: execution interval after any dependency stall
+    start: float
+    end: float
+    #: seqs of the events this op waited on (explicit deps + stream FIFO);
+    #: ``-1`` entries are external :meth:`Event.at` deadlines
+    dep_seqs: tuple[int, ...] = ()
+    #: dependency stall charged just before ``start`` (0.0 if none)
+    stall: float = 0.0
+    #: "op" for stream launches, "join" for barriers
+    kind: str = "op"
+    #: devices synchronized by a join (empty for plain ops)
+    members: tuple[str, ...] = ()
 
 
 class Event:
@@ -135,6 +172,8 @@ class EventLoop:
     def __init__(self) -> None:
         self._seq = 0
         self._parked: list[_Op] = []
+        #: append-only causal log of every retired op (see :class:`OpRecord`)
+        self.provenance: list[OpRecord] = []
 
     def next_seq(self) -> int:
         self._seq += 1
@@ -169,6 +208,7 @@ class EventLoop:
             t = d.time
             if t > floor:
                 floor = t
+        stall = floor - clock.now if floor > clock.now else 0.0
         if floor > clock.now:
             clock.wait_until(
                 floor, phase=op.wait_phase, category=op.wait_category,
@@ -184,6 +224,19 @@ class EventLoop:
             )
         op.stream._cursor = clock.now
         op.event._time = clock.now
+        # provenance is recorded after every clock mutation: it can observe
+        # the schedule but never influence it
+        self.provenance.append(OpRecord(
+            seq=op.event.seq,
+            label=op.event.label,
+            device=clock.device,
+            stream=op.stream.name,
+            phase=op.event.label if callable(op.work) else op.phase,
+            start=op.event.start,
+            end=clock.now,
+            dep_seqs=tuple(d.seq for d in op.deps),
+            stall=stall,
+        ))
 
     def run_until_idle(self) -> None:
         """Drain every parked op whose dependencies can resolve.
@@ -392,6 +445,17 @@ def join(streams, *, phase: str = "wait", category: str = "idle",
     ev = Event(loop.next_seq(), label=phase, loop=loop)
     ev.start = sync_point
     ev._time = sync_point
+    loop.provenance.append(OpRecord(
+        seq=ev.seq,
+        label=phase,
+        device="",
+        stream="join",
+        phase=phase,
+        start=sync_point,
+        end=sync_point,
+        kind="join",
+        members=tuple(s.device for s in streams),
+    ))
     return ev
 
 

@@ -1,0 +1,62 @@
+"""Performance analysis over the event-driven scheduler's artifacts.
+
+The observability stack *records* time (spans, metrics, run reports); this
+package *explains* it, in four pieces:
+
+- :mod:`~repro.telemetry.analysis.critical_path` — the causal critical
+  path through the completed event DAG, with per-phase/per-device/per-link
+  blame and per-span slack;
+- :mod:`~repro.telemetry.analysis.whatif` — replay the recorded DAG with
+  one cost scaled (gather 2x faster, NVLink BW doubled, straggler removed)
+  and rank the knobs by epoch-time saving;
+- :mod:`~repro.telemetry.analysis.overlap` — hidden-vs-exposed comm,
+  reconciled against the grad-sync metrics ledgers;
+- :mod:`~repro.telemetry.analysis.diff` — regression attribution between
+  two manifests ("84% of the regression is serve_gather").
+
+``python -m repro.telemetry.analysis <run_report.json>`` runs the
+manifest-mode analysis from the command line; :func:`analyze_node` runs
+the full span-level analysis in-process.  Everything is deterministic:
+the same seed yields a byte-identical scrubbed :class:`AnalysisReport`.
+"""
+
+from repro.telemetry.analysis.analyze import (
+    analyze_node,
+    analyze_report,
+    analyze_timeline,
+)
+from repro.telemetry.analysis.critical_path import (
+    CriticalPath,
+    PathEntry,
+    critical_path,
+    slack_summary,
+)
+from repro.telemetry.analysis.diff import attribute_regression
+from repro.telemetry.analysis.overlap import overlap_report
+from repro.telemetry.analysis.report import AnalysisReport, render_text
+from repro.telemetry.analysis.whatif import (
+    Knob,
+    default_knobs,
+    replay_makespan,
+    report_whatif,
+    whatif_ranking,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CriticalPath",
+    "Knob",
+    "PathEntry",
+    "analyze_node",
+    "analyze_report",
+    "analyze_timeline",
+    "attribute_regression",
+    "critical_path",
+    "default_knobs",
+    "overlap_report",
+    "render_text",
+    "replay_makespan",
+    "report_whatif",
+    "slack_summary",
+    "whatif_ranking",
+]

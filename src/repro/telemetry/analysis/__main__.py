@@ -1,0 +1,92 @@
+"""CLI: analyze saved run manifests and emit AnalysisReport artifacts.
+
+Usage::
+
+    python -m repro.telemetry.analysis runs/table5.json
+    python -m repro.telemetry.analysis runs/table5.json --baseline last.json
+    python -m repro.telemetry.analysis runs/*.json --out-dir analysis/
+    python -m repro.telemetry.analysis runs/table5.json \
+        --max-exposed-comm-frac 0.35      # CI gate
+
+Each input manifest (RunReport or ServeReport JSON) produces a
+``<stem>.analysis.json`` AnalysisReport next to it (or under ``--out-dir``)
+plus a readable text summary on stdout.  ``--baseline`` adds regression
+attribution; ``--max-exposed-comm-frac`` turns the tool into a gate that
+exits non-zero when the grad-sync exposed-comm fraction exceeds the
+threshold — the CI analysis job's contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.telemetry.analysis import analyze_report, render_text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.analysis",
+        description="Explain a run: bottleneck blame, overlap, what-ifs.",
+    )
+    parser.add_argument("reports", nargs="+",
+                        help="RunReport/ServeReport JSON manifests")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline manifest for regression attribution")
+    parser.add_argument("--out", default=None,
+                        help="AnalysisReport output path (single input only)")
+    parser.add_argument("--out-dir", default=None,
+                        help="directory for <stem>.analysis.json outputs")
+    parser.add_argument("--top", type=int, default=6,
+                        help="rows per blame/what-if table (default: 6)")
+    parser.add_argument("--max-exposed-comm-frac", type=float, default=None,
+                        help="fail (exit 1) if the grad-sync exposed-comm "
+                             "fraction exceeds this threshold")
+    args = parser.parse_args(argv)
+
+    if args.out and len(args.reports) > 1:
+        parser.error("--out only applies to a single input; use --out-dir")
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+
+    failures = 0
+    for path_str in args.reports:
+        path = Path(path_str)
+        with open(path) as f:
+            data = json.load(f)
+        report = analyze_report(data, baseline=baseline)
+        if args.out:
+            out_path = Path(args.out)
+        else:
+            out_dir = Path(args.out_dir) if args.out_dir else path.parent
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_path = out_dir / (path.stem + ".analysis.json")
+        report.save(out_path)
+        sys.stdout.write(render_text(report, top=args.top))
+        print(f"analysis report written: {out_path}")
+        if args.max_exposed_comm_frac is not None:
+            frac = report.overlap.get("grad_sync", {}).get(
+                "exposed_fraction", 0.0
+            )
+            if frac > args.max_exposed_comm_frac:
+                print(
+                    f"GATE FAILED: exposed-comm fraction {frac:.3f} exceeds "
+                    f"--max-exposed-comm-frac {args.max_exposed_comm_frac}"
+                )
+                failures += 1
+            else:
+                print(
+                    f"gate ok: exposed-comm fraction {frac:.3f} <= "
+                    f"{args.max_exposed_comm_frac}"
+                )
+        print()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Regression attribution: *where* did the time go between two runs.
+
+``benchmarks/compare_runs.py`` answers "did it regress"; this module
+answers "what regressed".  Given two manifests — RunReports, ServeReports,
+or AnalysisReports — it attributes the total-time delta to phases (and,
+when both sides carry critical-path blame tables, to devices), each with
+its share of the regression, so the exit message can say "84% of the
+regression is ``serve_gather``" instead of "epoch time grew".
+
+Stdlib-only on purpose: the logic must hold for manifests produced by any
+commit, and ``compare_runs.py`` vendors a minimal fallback of the same
+attribution for environments where ``repro`` is not importable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["attribute_regression"]
+
+
+def _total_time(report: dict) -> float | None:
+    """The headline duration of a manifest, whatever its kind."""
+    for key in ("epoch_time", "duration_seconds", "makespan"):
+        v = report.get(key)
+        if v is not None:
+            return float(v)
+    return None
+
+
+def _phase_table(report: dict) -> dict:
+    """Phase -> seconds, from whichever table the manifest carries."""
+    phases = report.get("phase_totals")
+    if phases:
+        return {k: float(v) for k, v in phases.items()}
+    cp = report.get("critical_path")
+    if isinstance(cp, dict) and cp.get("blame_phase"):
+        return {k: float(v) for k, v in cp["blame_phase"].items()}
+    return {}
+
+
+def _attribute(base: dict, cand: dict) -> list:
+    """Per-key delta rows with shares of the total positive delta."""
+    keys = sorted(set(base) | set(cand))
+    rows = []
+    pos_total = sum(
+        max(0.0, cand.get(k, 0.0) - base.get(k, 0.0)) for k in keys
+    )
+    for k in keys:
+        b = base.get(k, 0.0)
+        c = cand.get(k, 0.0)
+        delta = c - b
+        rows.append({
+            "phase": k,
+            "base": b,
+            "cand": c,
+            "delta": delta,
+            "share": (delta / pos_total
+                      if pos_total > 0 and delta > 0 else 0.0),
+        })
+    rows.sort(key=lambda r: (-r["delta"], r["phase"]))
+    return rows
+
+
+def attribute_regression(baseline: dict, candidate: dict) -> dict:
+    """Attribute the time delta between two manifest dicts.
+
+    Returns ``{"total_base", "total_cand", "total_delta", "total_pct",
+    "phases": [...], "worst": {...}|None, "devices": [...]?}`` — phases
+    sorted worst-regressing first, each with its ``share`` of the summed
+    positive delta.  ``devices`` appears when both manifests are
+    AnalysisReports carrying per-device blame.
+    """
+    base_phases = _phase_table(baseline)
+    cand_phases = _phase_table(candidate)
+    total_base = _total_time(baseline)
+    total_cand = _total_time(candidate)
+    if total_base is None or total_cand is None:
+        total_base = sum(base_phases.values())
+        total_cand = sum(cand_phases.values())
+    total_delta = total_cand - total_base
+    out = {
+        "total_base": total_base,
+        "total_cand": total_cand,
+        "total_delta": total_delta,
+        "total_pct": total_delta / total_base if total_base > 0 else 0.0,
+        "phases": _attribute(base_phases, cand_phases),
+    }
+    worst = next((r for r in out["phases"] if r["delta"] > 0), None)
+    out["worst"] = (
+        {"phase": worst["phase"], "delta": worst["delta"],
+         "share": worst["share"]}
+        if worst else None
+    )
+    base_dev = (baseline.get("critical_path") or {}).get("blame_device")
+    cand_dev = (candidate.get("critical_path") or {}).get("blame_device")
+    if base_dev and cand_dev:
+        out["devices"] = _attribute(
+            {k: float(v) for k, v in base_dev.items()},
+            {k: float(v) for k, v in cand_dev.items()},
+        )
+    return out

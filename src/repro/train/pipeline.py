@@ -398,11 +398,16 @@ def charge_grad_sync(
             end = sync_point + plan.ends[j]
             if end <= start:
                 continue
+            # per-bucket exposed/hidden split in plan-relative time: the
+            # portion of (starts[j], ends[j]) past the sync point is exposed
+            exposed_j = max(0.0, plan.ends[j]) - max(0.0, plan.starts[j])
             lane.record(
                 max(0.0, start), max(0.0, end),
                 phase="allreduce_bucket", category="comm",
                 args={"bucket": j, "nbytes": plan.bucket_nbytes[j],
-                      "hidden": plan.ends[j] <= 0.0},
+                      "hidden": plan.ends[j] <= 0.0,
+                      "exposed_s": exposed_j,
+                      "hidden_s": plan.bucket_times[j] - exposed_j},
             )
     reg = metrics.get_registry()
     reg.counter("phase_seconds_total", phase=phase).inc(plan.exposed)

@@ -1,0 +1,65 @@
+"""Analyzer snapshots over the pinned golden manifests.
+
+The eight scrubbed reports under ``tests/golden/`` are the repo's timing
+contract; the files under ``tests/golden/analysis/`` pin what the
+performance analyzer *says* about them — the phase blame table, overlap
+split and what-if bounds of each.  Byte equality here means two things at
+once: the analyzer is deterministic over fixed input, and no refactor can
+silently change its attribution without showing up as a reviewed diff.
+
+Regenerate after an intentional analyzer change with::
+
+    PYTHONPATH=src python -m tests.test_analysis_golden
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.analysis import analyze_report
+from tests import golden_cases
+
+CASE_NAMES = sorted(golden_cases.CASES)
+ANALYSIS_DIR = golden_cases.GOLDEN_DIR / "analysis"
+
+
+def _analyze(name: str) -> str:
+    data = json.loads(
+        (golden_cases.GOLDEN_DIR / f"{name}.json").read_text()
+    )
+    return analyze_report(data, name=name).to_json() + "\n"
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_analysis_matches_committed_snapshot(name):
+    path = ANALYSIS_DIR / f"{name}.analysis.json"
+    assert path.exists(), (
+        f"missing analysis snapshot {path} — run "
+        f"`PYTHONPATH=src python -m tests.test_analysis_golden`"
+    )
+    assert _analyze(name) == path.read_text()
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_blame_covers_the_manifest_phases(name):
+    """Every phase in the manifest appears in the snapshot's blame table."""
+    data = json.loads(
+        (golden_cases.GOLDEN_DIR / f"{name}.json").read_text()
+    )
+    snap = json.loads((ANALYSIS_DIR / f"{name}.analysis.json").read_text())
+    blame = snap["critical_path"]["blame_phase"]
+    assert set(data["phase_totals"]) == set(blame)
+
+
+def _write() -> None:
+    ANALYSIS_DIR.mkdir(parents=True, exist_ok=True)
+    for name in CASE_NAMES:
+        path = ANALYSIS_DIR / f"{name}.analysis.json"
+        path.write_text(_analyze(name))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    _write()
