@@ -14,8 +14,27 @@ from repro.experiments import ablations
 def test_ablations(benchmark, emit):
     results = run_once(benchmark, ablations.run, num_nodes=20_000)
     sweep = ablations.cache_sweep(num_nodes=20_000)
+    tiers = ablations.tier_hit_ratio_sweep(num_nodes=20_000, iterations=4)
     emit(
         "ablations",
-        ablations.report(results) + "\n\n" + ablations.sweep_report(sweep),
+        "\n\n".join([
+            ablations.report(results),
+            ablations.sweep_report(sweep),
+            ablations.tier_sweep_report(tiers),
+        ]),
     )
     ablations.check_shape(results)
+    # the tier hit ratio climbs with either knob, and more bytes above
+    # the disk tier never makes the gather slower
+    by_key = {
+        (r["cache_ratio"], r["host_pinned_fraction"]): r for r in tiers
+    }
+    for (ratio, frac), row in by_key.items():
+        assert 0.0 <= row["tier_hit_ratio"] <= 1.0
+        bigger_host = by_key.get((ratio, 0.75))
+        if bigger_host is not None and frac < 0.75:
+            assert bigger_host["tier_hit_ratio"] >= row["tier_hit_ratio"]
+            assert bigger_host["gather_time"] <= row["gather_time"] * 1.001
+        bigger_cache = by_key.get((0.1, frac))
+        if bigger_cache is not None and ratio < 0.1:
+            assert bigger_cache["tier_hit_ratio"] >= row["tier_hit_ratio"]

@@ -16,6 +16,8 @@ This package reproduces that protocol step-by-step:
   costed gather/scatter (the op behind feature storage);
 - :mod:`repro.dsm.feature_cache` — per-rank hot-row HBM caches over the
   gather path (degree-ordered static and CLOCK policies);
+- :mod:`repro.dsm.tiered_tensor` — the out-of-core tier beneath the DSM
+  (warm rows pinned host / cold rows on disk, zero-copy PCIe pricing);
 - :mod:`repro.dsm.unified_memory` — the CUDA UM page-migration alternative
   (Table I comparison);
 - :mod:`repro.dsm.comm` — NCCL-style collectives over the *distributed
@@ -28,6 +30,7 @@ from repro.dsm.whole_memory import WholeMemory
 from repro.dsm.whole_tensor import WholeTensor
 from repro.dsm.feature_cache import FeatureCache
 from repro.dsm.host_tensor import HostPinnedTensor
+from repro.dsm.tiered_tensor import TieredFeatureCache, TieredTensor
 from repro.dsm.unified_memory import UnifiedMemorySpace
 from repro.dsm.comm import Communicator
 
@@ -40,6 +43,8 @@ __all__ = [
     "WholeTensor",
     "FeatureCache",
     "HostPinnedTensor",
+    "TieredTensor",
+    "TieredFeatureCache",
     "UnifiedMemorySpace",
     "Communicator",
 ]

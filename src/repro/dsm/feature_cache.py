@@ -145,6 +145,15 @@ class FeatureCache:
 
     # -- setup -----------------------------------------------------------------
 
+    def _fill_time(self, rows: np.ndarray) -> float:
+        """Per-rank prefill cost: one bulk gather over the fabric plus the
+        HBM write-back.  Overridden by the tiered cache, whose fills pull
+        rows up from the host/disk tier instead of over NVLink."""
+        n = rows.size
+        return costmodel.gather_time(
+            n * self.row_bytes, self.row_bytes, self.node.num_gpus
+        ) + costmodel.elementwise_time(n * self.row_bytes)
+
     def _prefill(self, hot_rows: np.ndarray, charge_fill: bool) -> None:
         """Fill every rank's cache with the hottest rows (static policy)."""
         rows = hot_rows[: self.capacity_rows]
@@ -158,10 +167,7 @@ class FeatureCache:
             st.slot_of[rows] = np.arange(n)
             st.filled = n
             if charge_fill:
-                # one bulk gather over the fabric plus the HBM write-back
-                t = costmodel.gather_time(
-                    n * self.row_bytes, self.row_bytes, self.node.num_gpus
-                ) + costmodel.elementwise_time(n * self.row_bytes)
+                t = self._fill_time(rows)
                 self.node.gpu_clock[rank].advance(t, phase="cache_fill")
         if charge_fill:
             self.node.sync()

@@ -469,6 +469,83 @@ def sweep_report(rows: list[dict]) -> str:
     )
 
 
+def tier_hit_ratio_sweep(
+    cache_ratios=(0.0, 0.05, 0.1),
+    host_fractions=(0.25, 0.5, 0.75),
+    num_nodes: int = 30_000, batch_size: int = config.BATCH_SIZE,
+    fanouts=(config.FANOUT,) * config.NUM_LAYERS,
+    iterations: int = 8, seed: int = 0,
+) -> list[dict]:
+    """Where gathered bytes land across the out-of-core storage tiers.
+
+    The Table-5 training config (papers100M stand-in, default batch size
+    and fanouts) replayed over the tiered store for every HBM-cache size x
+    pinned-host fraction.  ``tier_hit_ratio`` is the headline: the share
+    of gathered bytes served *above* the disk tier (HBM cache hits plus
+    warm pinned-host rows) — the out-of-core analogue of a cache hit rate.
+    Every configuration replays the identical frontier sequence, so the
+    rows isolate placement, not sampling noise.
+    """
+    from repro.telemetry import metrics
+
+    ds = get_dataset("ogbn-papers100M", num_nodes, seed)
+    rows = []
+    for ratio in cache_ratios:
+        for frac in host_fractions:
+            prev = metrics.get_registry()
+            metrics.set_registry(metrics.MetricsRegistry())
+            try:
+                node = SimNode()
+                store = MultiGpuGraphStore(
+                    node, ds, seed=seed, tier="tiered",
+                    cache_ratio=ratio, host_pinned_fraction=frac,
+                )
+                node.reset_clocks()
+                gather_time = _cache_workload(
+                    store, fanouts, batch_size, iterations, seed
+                )
+                reg = metrics.get_registry()
+                hbm = reg.total("gather_link_bytes_total", link="hbm")
+                host = reg.total("tier_gather_bytes_total", tier="host")
+                disk = reg.total("tier_gather_bytes_total", tier="disk")
+            finally:
+                metrics.set_registry(prev)
+            total = hbm + host + disk
+            cache = store.feature_cache
+            rows.append({
+                "cache_ratio": ratio,
+                "host_pinned_fraction": frac,
+                "tier_hit_ratio": (hbm + host) / total if total else 0.0,
+                "hbm_share": hbm / total if total else 0.0,
+                "host_share": host / total if total else 0.0,
+                "disk_share": disk / total if total else 0.0,
+                "cache_hit_rate": (
+                    cache.summary()["hit_rate"] if cache is not None else 0.0
+                ),
+                "gather_time": gather_time,
+            })
+    return rows
+
+
+def tier_sweep_report(rows: list[dict]) -> str:
+    return format_table(
+        ["cache ratio", "host frac", "tier hit", "hbm/host/disk",
+         "gather (ms)"],
+        [
+            [f"{r['cache_ratio']:.0%}", f"{r['host_pinned_fraction']:.0%}",
+             f"{r['tier_hit_ratio']:.3f}",
+             (f"{r['hbm_share']:.2f}/{r['host_share']:.2f}"
+              f"/{r['disk_share']:.2f}"),
+             r["gather_time"] * 1e3]
+            for r in rows
+        ],
+        title=(
+            "Out-of-core tier hit ratio (papers100M stand-in, Table-5 "
+            "config, degree-ordered placement)"
+        ),
+    )
+
+
 def run(num_nodes: int = 20_000, seed: int = 0) -> list[AblationResult]:
     return [
         unique_impl_ablation(num_nodes=num_nodes, seed=seed),

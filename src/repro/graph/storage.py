@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import config
 from repro.dsm.feature_cache import FeatureCache
 from repro.dsm.host_tensor import HostPinnedTensor
+from repro.dsm.tiered_tensor import TieredFeatureCache, TieredTensor
 from repro.dsm.whole_tensor import WholeTensor
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DatasetSpec, SyntheticDataset
@@ -44,6 +46,8 @@ class MultiGpuGraphStore:
         feature_location: str = "device",
         cache_ratio: float = 0.0,
         cache_policy: str = "static",
+        tier: str | None = None,
+        host_pinned_fraction: float | None = None,
     ):
         """``feature_location``: ``"device"`` scatters features across GPU
         memory (WholeGraph proper); ``"host_pinned"`` keeps them in CPU DRAM
@@ -51,26 +55,47 @@ class MultiGpuGraphStore:
         offers for graphs beyond aggregate GPU memory, and the baseline of
         the storage-location ablation.
 
+        ``tier`` supersedes ``feature_location`` when given: the same two
+        values plus ``"tiered"``, the out-of-core hierarchy — the CSR
+        topology moves to pinned host memory, features spill into a
+        :class:`~repro.dsm.tiered_tensor.TieredTensor` (the hottest
+        ``host_pinned_fraction`` of rows warm in pinned host DRAM, the cold
+        tail on NVMe scratch, placement by degree), and ``cache_ratio``
+        sizes the hot HBM tier on top.
+
         ``cache_ratio`` > 0 layers a per-rank hot-row HBM cache
         (:class:`~repro.dsm.feature_cache.FeatureCache`) over the feature
         gather path: that fraction of the feature rows is cached per rank,
         with ``cache_policy`` selecting the degree-ordered ``"static"``
         placement or the online ``"clock"`` (LRU-approximating) policy."""
-        if feature_location not in ("device", "host_pinned"):
+        if tier is None:
+            tier = feature_location
+        if tier not in ("device", "host_pinned", "tiered"):
             raise ValueError(
                 "feature_location must be 'device' or 'host_pinned'"
+                " (or tier='tiered')"
             )
-        if cache_ratio and feature_location != "device":
+        if cache_ratio and tier == "host_pinned":
             raise ValueError(
                 "the feature cache requires device-resident features"
             )
-        self.feature_location = feature_location
+        self.tier = tier
+        self.feature_location = tier
+        #: where the CSR topology lives: host-pinned under the tiered
+        #: hierarchy (the sampler prices its row reads at the zero-copy
+        #: PCIe regime), device WholeMemory otherwise
+        self.structure_location = "host" if tier == "tiered" else "device"
         self.node = node
         self.dataset = dataset
         # kept for rebuild_on (elastic shrink re-shards onto a new node)
         self._seed = int(seed)
         self._cache_ratio = float(cache_ratio)
         self._cache_policy = cache_policy
+        self._host_pinned_fraction = (
+            config.HOST_PINNED_FRACTION
+            if host_pinned_fraction is None
+            else float(host_pinned_fraction)
+        )
         graph = dataset.graph
         self.num_nodes = graph.num_nodes
         self.num_edges = graph.num_edges
@@ -97,24 +122,35 @@ class MultiGpuGraphStore:
         # -- structure storage ------------------------------------------------------
         # per-node edge offsets (int64) partitioned with the nodes; the
         # paper's "8 bytes to store each edge" budget is the indices array.
-        self.indptr_tensor = WholeTensor(
-            node,
-            self.num_nodes + 1,
-            1,
-            dtype=np.int64,
-            tag="graph",
-            charge_setup=charge_setup,
-            rows_per_rank=self._indptr_rows(nodes_per_rank),
-        )
-        self.indices_tensor = WholeTensor(
-            node,
-            self.num_edges,
-            1,
-            dtype=np.int64,
-            tag="graph",
-            charge_setup=False,
-            rows_per_rank=edges_per_rank,
-        )
+        if self.structure_location == "host":
+            # out-of-core hierarchy: the CSR topology is pinned in host
+            # DRAM and read zero-copy — the sampler prices its row reads
+            # at the PCIe regime instead of the NVLink curve
+            self.indptr_tensor = HostPinnedTensor(
+                node, self.num_nodes + 1, 1, dtype=np.int64, tag="graph",
+            )
+            self.indices_tensor = HostPinnedTensor(
+                node, self.num_edges, 1, dtype=np.int64, tag="graph",
+            )
+        else:
+            self.indptr_tensor = WholeTensor(
+                node,
+                self.num_nodes + 1,
+                1,
+                dtype=np.int64,
+                tag="graph",
+                charge_setup=charge_setup,
+                rows_per_rank=self._indptr_rows(nodes_per_rank),
+            )
+            self.indices_tensor = WholeTensor(
+                node,
+                self.num_edges,
+                1,
+                dtype=np.int64,
+                tag="graph",
+                charge_setup=False,
+                rows_per_rank=edges_per_rank,
+            )
         self.indptr_tensor.load_from_host(
             self.csr.indptr.reshape(-1, 1), phase="load"
         )
@@ -123,7 +159,7 @@ class MultiGpuGraphStore:
         )
 
         # -- feature storage ----------------------------------------------------------
-        if feature_location == "device":
+        if tier == "device":
             self.feature_tensor = WholeTensor(
                 node,
                 self.num_nodes,
@@ -132,6 +168,15 @@ class MultiGpuGraphStore:
                 tag="feature",
                 charge_setup=charge_setup,
                 rows_per_rank=nodes_per_rank,
+            )
+        elif tier == "tiered":
+            # spill beneath the DSM: warm rows pinned host, cold on disk,
+            # placement by degree (the sampling-induced hotness proxy)
+            self.feature_tensor = TieredTensor(
+                node, self.num_nodes, self.feature_dim,
+                dtype=np.float32, tag="feature",
+                host_pinned_fraction=self._host_pinned_fraction,
+                hotness=np.diff(self.csr.indptr),
             )
         else:
             self.feature_tensor = HostPinnedTensor(
@@ -144,7 +189,10 @@ class MultiGpuGraphStore:
         # -- hot-row feature cache (optional) -----------------------------------
         self.feature_cache = None
         if cache_ratio:
-            self.feature_cache = FeatureCache.from_ratio(
+            cache_cls = (
+                TieredFeatureCache if tier == "tiered" else FeatureCache
+            )
+            self.feature_cache = cache_cls.from_ratio(
                 self.feature_tensor,
                 cache_ratio,
                 policy=cache_policy,
@@ -258,6 +306,8 @@ class MultiGpuGraphStore:
             feature_location=self.feature_location,
             cache_ratio=self._cache_ratio,
             cache_policy=self._cache_policy,
+            tier=self.tier,
+            host_pinned_fraction=self._host_pinned_fraction,
         )
 
     # -- memory accounting (Table IV) -----------------------------------------------

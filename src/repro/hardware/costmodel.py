@@ -171,6 +171,77 @@ def host_pinned_gather_time(total_bytes: float, segment_bytes: float) -> float:
     return config.KERNEL_LAUNCH_OVERHEAD + total_bytes / bw
 
 
+def zero_copy_host_bw(segment_bytes: float, pinned: bool = True) -> float:
+    """PCIe random-read bandwidth of a zero-copy gather out of host memory.
+
+    The UVA/zero-copy regime of the out-of-core tier (PyTorch-Direct):
+    GPU threads load host rows directly over the shared PCIe uplink.  The
+    curve keeps the Fig. 8 shape — BusBW proportional to the contiguous
+    segment below the 128 B knee, saturating at the 16 GB/s shared line
+    rate.  Pageable memory bounces through a driver staging buffer and
+    loses ``HOST_PAGEABLE_BW_FACTOR`` of the pinned rate.
+    """
+    slope = config.PCIE_BW_PER_GPU_SHARED / config.ZERO_COPY_SEG_KNEE_BYTES
+    bw = min(segment_bytes * slope, config.PCIE_BW_PER_GPU_SHARED)
+    if not pinned:
+        bw *= config.HOST_PAGEABLE_BW_FACTOR
+    return bw
+
+
+def zero_copy_gather_time(
+    total_bytes: float, segment_bytes: float, pinned: bool = True
+) -> float:
+    """GPU gather of random host rows via zero-copy PCIe loads."""
+    if total_bytes <= 0:
+        return config.KERNEL_LAUNCH_OVERHEAD
+    return config.KERNEL_LAUNCH_OVERHEAD + total_bytes / zero_copy_host_bw(
+        segment_bytes, pinned
+    )
+
+
+def disk_staging_time(total_bytes: float, num_requests: int | None = None) -> float:
+    """Disk->host staging cost for cold-tier rows.
+
+    The streaming loader sorts cold rows and coalesces them into aligned
+    ``DISK_BLOCK_BYTES`` reads, so the request count defaults to the block
+    count; each request pays the NVMe latency, and the payload rides the
+    sequential-read bandwidth of the scratch RAID.
+    """
+    if total_bytes <= 0:
+        return 0.0
+    if num_requests is None:
+        num_requests = math.ceil(total_bytes / config.DISK_BLOCK_BYTES)
+    num_requests = max(1, int(num_requests))
+    return (
+        num_requests * config.DISK_READ_LATENCY
+        + total_bytes / config.DISK_READ_BW
+    )
+
+
+def tiered_gather_time(
+    host_bytes: float,
+    disk_bytes: float,
+    segment_bytes: float,
+    pinned: bool = True,
+) -> float:
+    """One gather split across warm (pinned-host) and cold (disk) rows.
+
+    Warm rows are zero-copy PCIe reads.  Cold rows are first staged
+    disk->host, then cross PCIe like warm rows — the two hops of the same
+    rows serialize.  The warm stream proceeds concurrently with the cold
+    chain (independent PCIe transactions interleave), so the slower side
+    dominates, exactly as in :func:`gather_time`.
+    """
+    if host_bytes <= 0 and disk_bytes <= 0:
+        return config.KERNEL_LAUNCH_OVERHEAD
+    bw = zero_copy_host_bw(segment_bytes, pinned)
+    t_warm = host_bytes / bw
+    t_cold = 0.0
+    if disk_bytes > 0:
+        t_cold = disk_staging_time(disk_bytes) + disk_bytes / bw
+    return config.KERNEL_LAUNCH_OVERHEAD + max(t_warm, t_cold)
+
+
 # ---------------------------------------------------------------------------
 # Bulk-transfer models
 # ---------------------------------------------------------------------------

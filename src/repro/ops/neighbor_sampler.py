@@ -200,9 +200,17 @@ class NeighborSampler:
                     targets.shape[0], 1
                 )
                 seg = max(float(np.mean(counts)), 1.0) * 8.0
-                t = costmodel.gather_time(
-                    edges * 8.0, seg, node.num_gpus, remote_fraction=remote
-                )
+                if getattr(store, "structure_location", "device") == "host":
+                    # out-of-core stores pin the CSR topology in host DRAM:
+                    # the row reads come zero-copy over PCIe instead of the
+                    # NVLink curve (ownership no longer matters — every
+                    # read crosses the host uplink)
+                    t = costmodel.zero_copy_gather_time(edges * 8.0, seg)
+                else:
+                    t = costmodel.gather_time(
+                        edges * 8.0, seg, node.num_gpus,
+                        remote_fraction=remote,
+                    )
                 # the fused sampling kernel itself
                 t += costmodel.gpu_sample_time(edges)
                 if self.unique_impl == "hash":

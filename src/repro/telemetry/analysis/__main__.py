@@ -13,7 +13,9 @@ Each input manifest (RunReport or ServeReport JSON) produces a
 plus a readable text summary on stdout.  ``--baseline`` adds regression
 attribution; ``--max-exposed-comm-frac`` turns the tool into a gate that
 exits non-zero when the grad-sync exposed-comm fraction exceeds the
-threshold — the CI analysis job's contract.
+threshold — the CI analysis job's contract.  ``--max-exposed-host-frac``
+gates the streaming loader the same way: the fraction of host/disk tier
+transfer time left exposed on the compute streams.
 """
 
 from __future__ import annotations
@@ -44,6 +46,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-exposed-comm-frac", type=float, default=None,
                         help="fail (exit 1) if the grad-sync exposed-comm "
                              "fraction exceeds this threshold")
+    parser.add_argument("--max-exposed-host-frac", type=float, default=None,
+                        help="fail (exit 1) if the exposed fraction of "
+                             "host/disk tier transfers exceeds this "
+                             "threshold (out-of-core streaming runs)")
     args = parser.parse_args(argv)
 
     if args.out and len(args.reports) > 1:
@@ -83,6 +89,22 @@ def main(argv: list[str] | None = None) -> int:
                 print(
                     f"gate ok: exposed-comm fraction {frac:.3f} <= "
                     f"{args.max_exposed_comm_frac}"
+                )
+        if args.max_exposed_host_frac is not None:
+            frac = report.overlap.get("host_fetch", {}).get(
+                "exposed_fraction", 0.0
+            )
+            if frac > args.max_exposed_host_frac:
+                print(
+                    f"GATE FAILED: exposed host-transfer fraction "
+                    f"{frac:.3f} exceeds --max-exposed-host-frac "
+                    f"{args.max_exposed_host_frac}"
+                )
+                failures += 1
+            else:
+                print(
+                    f"gate ok: exposed host-transfer fraction {frac:.3f} "
+                    f"<= {args.max_exposed_host_frac}"
                 )
         print()
     return 1 if failures else 0

@@ -104,8 +104,11 @@ class CriticalPath:
         Gather spans carry ``bytes``/``remote_bytes`` args; their duration
         is split between HBM (local rows) and NVLink (remote rows)
         proportionally to bytes — a first-order split, since both phases of
-        a gather run at their own bandwidth.  Collective-comm spans are
-        charged to ``collective`` (the NVLink/IB ring) whole.
+        a gather run at their own bandwidth.  Out-of-core spans carry
+        ``host_bytes``/``disk_bytes`` instead and split between PCIe (warm
+        rows), disk (cold rows) and HBM (the cached remainder) the same
+        way.  Collective-comm spans are charged to ``collective`` (the
+        NVLink/IB ring) whole.
         """
         out: dict[str, float] = {}
 
@@ -117,7 +120,16 @@ class CriticalPath:
             if e.kind != "busy":
                 continue
             a = e.args or {}
-            if "bytes" in a and "remote_bytes" in a and a["bytes"]:
+            if (
+                ("host_bytes" in a or "disk_bytes" in a)
+                and a.get("bytes")
+            ):
+                hb = a.get("host_bytes", 0)
+                db = a.get("disk_bytes", 0)
+                add("pcie", e.duration * hb / a["bytes"])
+                add("disk", e.duration * db / a["bytes"])
+                add("hbm", e.duration * (1.0 - (hb + db) / a["bytes"]))
+            elif "bytes" in a and "remote_bytes" in a and a["bytes"]:
                 remote = a["remote_bytes"] / a["bytes"]
                 add("nvlink", e.duration * remote)
                 add("hbm", e.duration * (1.0 - remote))

@@ -78,6 +78,9 @@ def overlap_report(metrics=None, timelines=None, rel_tol: float = 1e-6) -> dict:
     exposed = _metric_value(metrics, "grad_sync_exposed_seconds_total")
     hidden = _metric_value(metrics, "grad_sync_hidden_seconds_total")
     prefetch_hidden = _metric_value(metrics, "overlap_hidden_seconds_total")
+    hf_total = _metric_value(metrics, "host_fetch_seconds_total")
+    hf_exposed = _metric_value(metrics, "host_fetch_exposed_seconds_total")
+    hf_hidden = _metric_value(metrics, "host_fetch_hidden_seconds_total")
     out = {
         "grad_sync": {
             "total": comm,
@@ -92,6 +95,20 @@ def overlap_report(metrics=None, timelines=None, rel_tol: float = 1e-6) -> dict:
             "hidden": prefetch_hidden,
         },
     }
+    # the streaming loader's host/disk tier transfers; the key is dropped
+    # entirely on in-core runs so pre-tier analysis snapshots stay
+    # byte-identical
+    if hf_total > 0:
+        out["host_fetch"] = {
+            "total": hf_total,
+            "exposed": hf_exposed,
+            "hidden": hf_hidden,
+            "exposed_fraction": hf_exposed / hf_total,
+            "ledger_consistent": (
+                abs(hf_total - (hf_exposed + hf_hidden))
+                <= max(_ABS_TOL, rel_tol * max(hf_total, 1e-30))
+            ),
+        }
     # internal consistency of the ledgers themselves
     out["grad_sync"]["ledger_consistent"] = (
         abs(comm - (exposed + hidden))

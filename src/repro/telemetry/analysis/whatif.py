@@ -140,6 +140,16 @@ def _no_straggler_factor(s) -> float:
     return 1.0 / d if d else 1.0
 
 
+def _host_bw_factor(s) -> float:
+    """Doubled host-path bandwidth: tier spans (host_fetch launches and
+    tiered gathers) shrink by their host+disk byte share."""
+    a = s.args or {}
+    if a.get("bytes"):
+        tier = (a.get("host_bytes", 0) + a.get("disk_bytes", 0)) / a["bytes"]
+        return 1.0 - 0.5 * tier
+    return 1.0
+
+
 def default_knobs(timelines) -> list[Knob]:
     """The standard sensitivity suite over a recorded run.
 
@@ -147,7 +157,9 @@ def default_knobs(timelines) -> list[Knob]:
     bandwidth (gather spans shrink by their remote-byte share, collectives
     halve); the straggler knob undoes fault dilation exactly, using the
     ``dilation`` factor the clock stamps on scaled spans — and is only
-    offered when a dilated span exists.
+    offered when a dilated span exists.  The host-bandwidth knob (doubled
+    zero-copy PCIe + disk staging rate) is likewise only offered when an
+    out-of-core span exists.
     """
     knobs = [
         _phase_knob("gather_2x", "feature gather 2x faster",
@@ -160,14 +172,18 @@ def default_knobs(timelines) -> list[Knob]:
                     ("allreduce",), 0.5),
         Knob("nvlink_bw_2x", "NVLink bandwidth doubled", _nvlink_factor),
     ]
-    dilated = any(
-        (s.args or {}).get("dilation")
-        for s in _base_spans(timelines)
-        if s.busy
-    )
+    base = [s for s in _base_spans(timelines) if s.busy]
+    dilated = any((s.args or {}).get("dilation") for s in base)
     if dilated:
         knobs.append(Knob("no_straggler", "straggler fault removed",
                           _no_straggler_factor))
+    tiered = any(
+        (s.args or {}).get("host_bytes") or (s.args or {}).get("disk_bytes")
+        for s in base
+    )
+    if tiered:
+        knobs.append(Knob("host_bw_2x", "host/disk tier bandwidth doubled",
+                          _host_bw_factor))
     return knobs
 
 

@@ -4,12 +4,15 @@
   gather → train pipeline with per-phase simulated timing;
 - :mod:`repro.train.trainer` — epoch loops, evaluation, the WholeGraph
   trainer (paper §III-D training flow);
+- :mod:`repro.train.streaming` — the out-of-core streaming prefetch loader
+  (host-stream tier transfers, exposed-tail-only charging);
 - :mod:`repro.train.ddp` — data-parallel gradient synchronisation;
 - :mod:`repro.train.metrics` — accuracy and epoch statistics.
 """
 
 from repro.train.pipeline import IterationResult, run_iteration
 from repro.train.trainer import WholeGraphTrainer, EpochStats
+from repro.train.streaming import StreamingLoader
 from repro.train.ddp import DistributedDataParallel
 from repro.train.metrics import accuracy
 
@@ -18,6 +21,7 @@ __all__ = [
     "run_iteration",
     "WholeGraphTrainer",
     "EpochStats",
+    "StreamingLoader",
     "DistributedDataParallel",
     "accuracy",
 ]

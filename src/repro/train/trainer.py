@@ -36,6 +36,7 @@ from repro.train.checkpoint import load_checkpoint, save_checkpoint
 from repro.train.ddp import DistributedDataParallel, GradSyncModel
 from repro.train.metrics import PhaseTimes
 from repro.train.pipeline import PipelinedExecutor, run_iteration, train_batch
+from repro.train.streaming import StreamingLoader
 from repro.utils.rng import RngPool
 
 
@@ -84,6 +85,8 @@ class WholeGraphTrainer:
         compute_ranks: str = "one",
         layer_cost_factor: float = 1.0,
         overlap: bool = False,
+        streaming: bool = False,
+        prefetch_depth: int | None = None,
         bucket_cap_mb: float | None = None,
         overlap_grad_sync: bool = True,
         fault_plan: FaultPlan | None = None,
@@ -100,6 +103,15 @@ class WholeGraphTrainer:
         sum.  The trained model is bit-identical to ``overlap=False``
         (sampling and dropout use separate streams, consumed in batch order
         under both schedules).
+
+        ``streaming=True`` trains with the out-of-core streaming schedule
+        (requires a store built with ``tier="tiered"``): a dedicated host
+        stream prefetches the next ``prefetch_depth`` batches' host/disk
+        tier rows into HBM while the current batch trains, so only the
+        *exposed* tail of each transfer stalls the GPUs
+        (:class:`~repro.train.streaming.StreamingLoader`).  Like the
+        pipelined schedule, the trained model is bit-identical to a
+        sequential run at equal seeds.
 
         ``bucket_cap_mb`` sets the gradient bucket capacity of the Apex-DDP
         style synchronisation (default :data:`config.DDP_BUCKET_CAP_MB`;
@@ -139,8 +151,27 @@ class WholeGraphTrainer:
             raise ValueError(
                 "the pipelined schedule runs in the symmetric mode only"
             )
+        if streaming and compute_ranks == "all":
+            raise ValueError(
+                "the streaming schedule runs in the symmetric mode only"
+            )
+        if streaming and overlap:
+            raise ValueError(
+                "pick one schedule: overlap (pipelined prefetch) or "
+                "streaming (out-of-core host prefetch)"
+            )
+        if streaming and getattr(store, "tier", None) != "tiered":
+            raise ValueError(
+                "the streaming loader needs tiered features — build the "
+                "store with tier='tiered'"
+            )
         self.compute_ranks = compute_ranks
         self.overlap = bool(overlap)
+        self.streaming = bool(streaming)
+        self.prefetch_depth = (
+            config.PREFETCH_DEPTH if prefetch_depth is None
+            else int(prefetch_depth)
+        )
         #: dropout stream, separate from the sampling stream so the
         #: sequential and pipelined schedules consume both identically
         self._model_rng = self.rngs.named("dropout")
@@ -271,7 +302,12 @@ class WholeGraphTrainer:
             )
             done_before = len(losses)
             try:
-                if overlap:
+                if self.streaming:
+                    self._epoch_streaming(
+                        batches[cursor:], phase_totals, losses
+                    )
+                    cursor = len(batches)
+                elif overlap:
                     self._epoch_pipelined(
                         batches[cursor:], phase_totals, losses
                     )
@@ -288,7 +324,7 @@ class WholeGraphTrainer:
                         self._poll_faults()
                 break
             except RankFailureError as exc:
-                if overlap:
+                if overlap or self.streaming:
                     cursor += len(losses) - done_before
                 ar_acc += node.timeline.phase_total("allreduce", dev0) - ar0
                 aw_acc += (
@@ -563,6 +599,70 @@ class WholeGraphTrainer:
             self._poll_faults()
         return losses
 
+    def _epoch_streaming(self, batches: list[np.ndarray],
+                         phase_totals: PhaseTimes,
+                         losses: list[float] | None = None) -> list[float]:
+        """Out-of-core epoch: the host stream prefetches tier rows ahead.
+
+        Up to ``prefetch_depth`` batches are in flight: each is sampled on
+        the compute streams, its host/disk tier fetch launched on the host
+        stream, and consumed later behind the fetch event — the scheduler
+        charges only the exposed transfer tail (``host_fetch_wait``).  The
+        per-iteration ``node.sync()`` of the other schedules is deliberately
+        absent: the grad-sync barrier aligns the compute streams, while the
+        host clock is free to run ahead into future batches' transfers.
+
+        Same math, same RNG stream consumption order as the sequential
+        schedule (sampling and dropout both in batch order), so the losses
+        and trained weights are bit-identical.
+        """
+        node = self.node
+        losses = [] if losses is None else losses
+        if not batches:
+            return losses
+        loader = StreamingLoader(
+            self.store, self.sampler, rank=0,
+            prefetch_depth=self.prefetch_depth,
+        )
+        sample_rng = self.rngs.rank(0)
+        reg = metrics.get_registry()
+
+        depth = min(loader.prefetch_depth, len(batches))
+        for j in range(depth):
+            loader.prefetch(batches[j], sample_rng)
+            phase_totals += PhaseTimes(sample=loader.last_sample_time)
+        nxt = depth
+        for batch in batches:
+            sg, x_np = loader.take()
+            phase_totals += PhaseTimes(gather=loader.last_consume_time)
+            if nxt < len(batches):
+                loader.prefetch(batches[nxt], sample_rng)
+                phase_totals += PhaseTimes(sample=loader.last_sample_time)
+                nxt += 1
+            # training of this batch overlaps the prefetch just launched
+            loss, _ = train_batch(
+                self.model, sg, x_np, self.store.labels[batch],
+                rng=self._model_rng, optimizer=self.optimizer,
+            )
+            train_t = (
+                self.model.estimate_train_time(sg) * self.layer_cost_factor
+            )
+            for r in range(node.num_gpus):
+                node.streams.compute(r).launch(
+                    train_t, phase="train", category="compute",
+                    args={"edges": sg.total_edges(),
+                          "input_nodes": int(sg.input_nodes.shape[0])},
+                )
+            reg.counter("phase_seconds_total", phase="train").inc(train_t)
+            self.grad_sync.charge(
+                producers=[(node.gpu_clock[0].now, train_t)],
+                phase="allreduce",
+            )
+            losses.append(loss)
+            phase_totals += PhaseTimes(train=train_t)
+            self._poll_faults()
+        return losses
+
     def _step_all_ranks(self, batch: np.ndarray, it: int) -> float:
         """True DDP: per-rank batches, real gradient all-reduce."""
         node = self.node
@@ -603,31 +703,40 @@ class WholeGraphTrainer:
         """
         from repro.telemetry.run_report import report_from_node
 
+        cfg = {
+            "model": self.model_name,
+            "batch_size": self.batch_size,
+            "fanouts": self.sampler.fanouts,
+            "num_gpus": self.node.num_gpus,
+            "compute_ranks": self.compute_ranks,
+            "overlap": self.overlap,
+            "layer_cost_factor": self.layer_cost_factor,
+            "bucket_cap_mb": self.grad_sync.bucket_cap_mb,
+            "overlap_grad_sync": self.grad_sync.overlap,
+            "grad_buckets": self.grad_sync.num_buckets,
+            # the plan makes a recovered run reproducible from its
+            # manifest; None for both no-plan and empty-plan runs so
+            # the two stay byte-identical (determinism contract)
+            "fault_plan": (
+                self.fault_plan.to_config()
+                if self.fault_plan is not None and self.fault_plan
+                else None
+            ),
+            "recovery_policy": self.recovery_policy,
+        }
+        # out-of-core knobs appear only when the tier is in play, so the
+        # in-HBM manifests (and the goldens) stay byte-identical
+        if getattr(self.store, "tier", None) == "tiered":
+            cfg["tier"] = self.store.tier
+            cfg["host_pinned_fraction"] = self.store._host_pinned_fraction
+        if self.streaming:
+            cfg["streaming"] = True
+            cfg["prefetch_depth"] = self.prefetch_depth
         return report_from_node(
             name,
             self.node,
             kind="train",
-            config={
-                "model": self.model_name,
-                "batch_size": self.batch_size,
-                "fanouts": self.sampler.fanouts,
-                "num_gpus": self.node.num_gpus,
-                "compute_ranks": self.compute_ranks,
-                "overlap": self.overlap,
-                "layer_cost_factor": self.layer_cost_factor,
-                "bucket_cap_mb": self.grad_sync.bucket_cap_mb,
-                "overlap_grad_sync": self.grad_sync.overlap,
-                "grad_buckets": self.grad_sync.num_buckets,
-                # the plan makes a recovered run reproducible from its
-                # manifest; None for both no-plan and empty-plan runs so
-                # the two stay byte-identical (determinism contract)
-                "fault_plan": (
-                    self.fault_plan.to_config()
-                    if self.fault_plan is not None and self.fault_plan
-                    else None
-                ),
-                "recovery_policy": self.recovery_policy,
-            },
+            config=cfg,
             seed=self.seed,
             feature_stats=getattr(self.store.feature_tensor, "stats", None),
             cache=self.store.feature_cache,
