@@ -1,0 +1,143 @@
+"""Recsys workload benchmark: sparse embedding training + top-k serving.
+
+The embedding-table scenario of the paper's recsys discussion, end to end:
+link-prediction training over a bipartite rating graph with the trainable
+``WholeEmbedding`` sharded across the DSM (forward gathers and backward
+row-grad pushes both priced through the gather cost model), then the online
+recommendation path served over the frozen encoder.
+
+Beyond the timing rows, the bench enforces the telemetry contract the
+manifest is built from: every ``embed_grad`` span on the comm-stream lane
+must reconcile — rows and bytes — with the ``embedding_rows_touched_total``
+/ ``embedding_link_bytes_total`` ledgers and the table's own grad stats.
+Results go to ``results/recsys.json`` (compare_runs.py manifest shape — CI
+diffs it against the committed ``recsys_baseline.json``).
+"""
+
+import json
+
+from benchmarks.conftest import RESULTS_DIR, run_once
+from repro.graph import MultiGpuGraphStore, load_bipartite_dataset
+from repro.hardware import SimNode
+from repro.serve import FrozenModel, RecsysEngine, synthesize_requests
+from repro.telemetry import metrics
+from repro.telemetry.report import format_table
+from repro.train import WholeGraphTrainer
+from repro.utils.rng import spawn_rng
+
+NUM_USERS = 600
+NUM_ITEMS = 250
+EPOCHS = 6
+NUM_REQUESTS = 300
+
+
+def _run_all():
+    prev = metrics.get_registry()
+    metrics.set_registry(metrics.MetricsRegistry())
+    try:
+        ds = load_bipartite_dataset(
+            num_users=NUM_USERS, num_items=NUM_ITEMS, seed=0
+        )
+        store = MultiGpuGraphStore(SimNode(), ds, seed=0)
+        trainer = WholeGraphTrainer(
+            store, "sage", seed=0, batch_size=32, task="linkpred",
+            num_pairs=256, hidden=32, num_layers=2, lr=1e-2,
+        )
+        epochs = [trainer.train_epoch() for _ in range(EPOCHS)]
+        auc = trainer.evaluate_linkpred(num_pairs=2000)
+
+        reg = metrics.get_registry()
+        lane = trainer.node.gpu_clock[0].device + "/nccl"
+        spans = [
+            s for s in trainer.node.timeline.spans
+            if s.device == lane and s.phase == "embed_grad"
+        ]
+        grad_stats = dict(trainer.embedding.grad_stats)
+        ledger = {
+            "rows_touched": reg.total("embedding_rows_touched_total"),
+            "link_bytes": reg.total("embedding_link_bytes_total"),
+            "grad_seconds": reg.total("embedding_grad_seconds_total"),
+            "span_rows": sum(s.args["rows"] for s in spans),
+            "span_bytes": sum(s.args["nbytes"] for s in spans),
+            "gather_bytes": trainer.embedding.table.stats["gather_bytes"],
+        }
+
+        engine = RecsysEngine(
+            store, FrozenModel(trainer.model), trainer.embedding,
+            ds.item_nodes, top_k=10, score_scale=trainer._score_scale,
+        )
+        requests = synthesize_requests(
+            NUM_REQUESTS, 50_000.0, ds.user_nodes,
+            spawn_rng(0, "bench-recsys"),
+        )
+        serve = engine.serve(requests, seed=0).report
+        return epochs, auc, grad_stats, ledger, serve
+    finally:
+        metrics.set_registry(prev)
+
+
+def test_recsys(benchmark, emit):
+    epochs, auc, grad_stats, ledger, serve = run_once(benchmark, _run_all)
+
+    train_time = sum(s.epoch_time for s in epochs)
+    lines = [
+        format_table(
+            ["epoch", "loss", "epoch time (ms)"],
+            [[i, f"{s.mean_loss:.4f}", s.epoch_time * 1e3]
+             for i, s in enumerate(epochs)],
+            title=(
+                f"recsys link prediction: {NUM_USERS} users x "
+                f"{NUM_ITEMS} items (held-out AUC {auc:.4f})"
+            ),
+        ),
+        (
+            f"sparse updates: {grad_stats['rows_touched']} rows touched "
+            f"over {grad_stats['steps']} steps, "
+            f"{grad_stats['grad_bytes'] / 2**10:.1f} KiB of row grads on "
+            f"the comm lane ({ledger['grad_seconds'] * 1e6:.1f} us)"
+        ),
+        format_table(
+            ["stage", "seconds"],
+            sorted(serve.phase_totals.items()),
+            title=(
+                f"top-10 serving: p99 {serve.latency['p99'] * 1e6:.1f} us "
+                f"at {serve.qps:.0f} qps"
+            ),
+        ),
+    ]
+    emit("recsys", "\n\n".join(lines))
+
+    manifest = {
+        "name": "recsys",
+        "phase_totals": {
+            "train_total": train_time,
+            "embed_grad": ledger["grad_seconds"],
+            **{f"serve_{k.removeprefix('serve_')}": v
+               for k, v in serve.phase_totals.items()},
+        },
+        "notes": {
+            "auc": auc,
+            "rows_touched": grad_stats["rows_touched"],
+            "serve_p99": serve.latency["p99"],
+            "serve_qps": serve.qps,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "recsys.json").write_text(
+        json.dumps(manifest, indent=2) + "\n"
+    )
+
+    # quality floor: the planted taste communities are learned
+    assert auc >= 0.85, f"AUC {auc:.4f} below floor"
+    # sparsity: each step touches a strict subset of the table
+    table_rows = NUM_USERS + NUM_ITEMS
+    assert 0 < grad_stats["rows_touched"] < grad_stats["steps"] * table_rows
+    # the comm-lane spans reconcile with the metric ledgers exactly
+    assert ledger["span_rows"] == ledger["rows_touched"]
+    assert ledger["span_rows"] == grad_stats["rows_touched"]
+    assert ledger["span_bytes"] == grad_stats["grad_bytes"]
+    assert ledger["link_bytes"] == (
+        ledger["gather_bytes"] + grad_stats["grad_bytes"]
+    )
+    assert ledger["grad_seconds"] > 0
+    assert serve.qps > 0 and serve.latency["p99"] > 0

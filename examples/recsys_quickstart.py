@@ -1,0 +1,83 @@
+"""Recsys quickstart: sparse embedding training + top-k recommendation.
+
+The embedding-table workload of the paper's recsys discussion, end to end:
+
+1. generate a bipartite user-item rating graph with planted taste
+   communities (``load_bipartite_dataset``);
+2. train link prediction over it — a ``WholeEmbedding`` table sharded
+   across the simulated GPUs holds one trainable row per user/item, the
+   GraphSage encoder rides on top, and ``SparseAdam`` updates only the
+   rows each batch touches (state co-sharded with the table);
+3. report the held-out ROC-AUC per epoch and the sparse-update economics
+   (rows touched per epoch vs table size);
+4. freeze the encoder, build the offline item index, and serve top-10
+   recommendations through the costed serving stack.
+
+Run:  python examples/recsys_quickstart.py
+"""
+
+import numpy as np
+
+from repro.graph import MultiGpuGraphStore, load_bipartite_dataset
+from repro.hardware import SimNode
+from repro.serve import FrozenModel, RecsysEngine, synthesize_requests
+from repro.train import WholeGraphTrainer
+from repro.utils.rng import spawn_rng
+
+EPOCHS = 6
+TOP_K = 10
+
+
+def main() -> None:
+    ds = load_bipartite_dataset(num_users=600, num_items=250, seed=0)
+    store = MultiGpuGraphStore(SimNode(), ds, seed=0)
+    trainer = WholeGraphTrainer(
+        store, "sage", seed=0, batch_size=32, task="linkpred",
+        num_pairs=256, hidden=32, num_layers=2, lr=1e-2,
+    )
+    table = trainer.embedding
+    print(
+        f"embedding table: {table.num_rows} rows x {table.dim} "
+        f"({table.total_bytes / 2**10:.0f} KiB sharded over "
+        f"{trainer.node.num_gpus} GPUs)"
+    )
+
+    touched0 = 0
+    for epoch in range(EPOCHS):
+        stats = trainer.train_epoch()
+        auc = trainer.evaluate_linkpred(num_pairs=1000)
+        touched = table.grad_stats["rows_touched"]
+        print(
+            f"epoch {epoch}: loss {stats.mean_loss:.4f}  "
+            f"AUC {auc:.4f}  rows touched {touched - touched0}  "
+            f"epoch time {stats.epoch_time * 1e3:.2f} ms"
+        )
+        touched0 = touched
+
+    engine = RecsysEngine(
+        store, FrozenModel(trainer.model), table, ds.item_nodes,
+        top_k=TOP_K, score_scale=trainer._score_scale,
+    )
+    requests = synthesize_requests(
+        300, 50_000.0, ds.user_nodes, spawn_rng(0, "recsys-quickstart")
+    )
+    report = engine.serve(requests, seed=0).report
+    print(
+        f"\nserved {len(requests)} requests: "
+        f"p99 {report.latency['p99'] * 1e6:.1f} us at {report.qps:.0f} qps"
+    )
+
+    users = ds.user_nodes[:5]
+    recs = engine.recommend(users)
+    csr = store.csr
+    for u, items in zip(users, recs):
+        rated = csr.indices[csr.indptr[u]: csr.indptr[u + 1]]
+        hits = int(np.isin(items, rated).sum())
+        print(
+            f"user {u}: top-{TOP_K} {items.tolist()} "
+            f"({hits} already rated)"
+        )
+
+
+if __name__ == "__main__":
+    main()

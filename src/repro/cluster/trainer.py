@@ -21,20 +21,28 @@ import tempfile
 import numpy as np
 
 from repro import config
+from repro.dsm.sparse_embedding import WholeEmbedding
 from repro.faults import FaultInjector, FaultPlan, RankFailureError
 from repro.graph import MultiGpuGraphStore
 from repro.graph.datasets import SyntheticDataset
 from repro.hardware import SimNode
 from repro.nn.models import build_model
 from repro.nn.optim import Adam
+from repro.nn.sparse_optim import average_row_grads
 from repro.ops.neighbor_sampler import NeighborSampler
 from repro.telemetry import metrics
 from repro.train.checkpoint import load_checkpoint, save_checkpoint
 from repro.train.ddp import GradSyncModel
+from repro.train.metrics import roc_auc
 from repro.train.pipeline import (
     PipelinedExecutor,
     run_iteration,
     train_batch,
+)
+from repro.train.trainer import (
+    SPARSE_OPTIMIZERS,
+    linkpred_forward,
+    sample_link_batch,
 )
 from repro.utils.rng import RngPool, spawn_rng
 
@@ -60,6 +68,10 @@ class ClusterTrainer:
         fault_plan: FaultPlan | None = None,
         recovery_policy: str = "shrink",
         checkpoint_dir: str | None = None,
+        task: str = "node",
+        embedding_dim: int | None = None,
+        num_pairs: int | None = None,
+        sparse_optimizer: str = "adam",
     ):
         """``overlap=True`` selects the double-buffered schedule on every
         machine node: each node prefetches its next batch's sample+gather
@@ -101,15 +113,79 @@ class ClusterTrainer:
         self.samplers = [
             NeighborSampler(store, fanouts) for store in self.stores
         ]
-        init_rng = spawn_rng(seed, "cluster-init")
-        self.models = [
-            build_model(
-                model_name, self.stores[0].feature_dim,
-                self.stores[0].num_classes, init_rng,
-                hidden=hidden, num_layers=num_layers, dropout=dropout,
+        if task not in ("node", "linkpred"):
+            raise ValueError("task must be 'node' or 'linkpred'")
+        if task == "linkpred" and overlap:
+            raise ValueError(
+                "link prediction runs in the sequential symmetric mode"
             )
-            for _ in range(num_machine_nodes)
-        ]
+        self.task = task
+
+        if task == "linkpred":
+            from repro.faults import RankFailure
+
+            if fault_plan is not None and fault_plan.of_kind(RankFailure):
+                raise ValueError(
+                    "link prediction supports transient fault plans only"
+                )
+            if sparse_optimizer not in SPARSE_OPTIMIZERS:
+                raise ValueError(
+                    f"sparse_optimizer must be one of "
+                    f"{sorted(SPARSE_OPTIMIZERS)}"
+                )
+            self.embedding_dim = (
+                int(embedding_dim) if embedding_dim
+                else self.stores[0].feature_dim
+            )
+            self.num_pairs = (
+                int(num_pairs) if num_pairs else self.batch_size
+            )
+            self.sparse_optim_name = sparse_optimizer
+            # replicated link prediction: every machine processes *the
+            # same* global pair batch, so the trajectory is bit-identical
+            # to the single-node trainer's — same "init" model stream,
+            # same "embedding" init, same per-step "rank"/"dropout"
+            # consumption, one shared "linkpred-pairs" stream
+            init_rng = spawn_rng(seed, "init")
+            self.models = [
+                build_model(
+                    model_name, self.embedding_dim, hidden, init_rng,
+                    hidden=hidden, num_layers=num_layers, dropout=dropout,
+                )
+                for _ in range(num_machine_nodes)
+            ]
+            self._score_scale = 1.0 / float(np.sqrt(hidden))
+            self.embeddings = [
+                WholeEmbedding(
+                    node, self.stores[0].num_nodes, self.embedding_dim,
+                    rng=spawn_rng(seed, "embedding"),
+                )
+                for node in self.nodes
+            ]
+            self.sparse_optimizers = [
+                SPARSE_OPTIMIZERS[sparse_optimizer]([emb], lr=lr)
+                for emb in self.embeddings
+            ]
+            self._pair_rng = spawn_rng(seed, "linkpred-pairs")
+            self._sample_rngs = [
+                spawn_rng(seed, "rank", 0)
+                for _ in range(num_machine_nodes)
+            ]
+            self.iterations_per_epoch = max(
+                1, self.stores[0].train_nodes.shape[0] // self.batch_size
+            )
+        else:
+            self.embeddings = []
+            self.sparse_optimizers = []
+            init_rng = spawn_rng(seed, "cluster-init")
+            self.models = [
+                build_model(
+                    model_name, self.stores[0].feature_dim,
+                    self.stores[0].num_classes, init_rng,
+                    hidden=hidden, num_layers=num_layers, dropout=dropout,
+                )
+                for _ in range(num_machine_nodes)
+            ]
         # start in sync (the DDP weight broadcast)
         state = self.models[0].state_dict()
         for m in self.models[1:]:
@@ -126,9 +202,15 @@ class ClusterTrainer:
         self.epoch_rng = self.rngs.named("cluster-epochs")
         self.overlap = bool(overlap)
         #: per-node dropout streams, separate from the sampling streams so
-        #: both schedules consume each stream in the same order
+        #: both schedules consume each stream in the same order; replicated
+        #: link prediction instead gives every machine the single-node
+        #: trainer's "dropout" stream (consumed identically on identical
+        #: batches, so replicas stay in lock-step with the single-node run)
         self._model_rngs = [
-            self.rngs.named(f"cluster-dropout-{i}")
+            (
+                spawn_rng(seed, "dropout") if task == "linkpred"
+                else self.rngs.named(f"cluster-dropout-{i}")
+            )
             for i in range(num_machine_nodes)
         ]
         self._epoch = 0
@@ -225,6 +307,8 @@ class ClusterTrainer:
         """One epoch; global batches are distributed round-robin over the
         machine nodes and processed concurrently (per-node clocks advance
         in parallel)."""
+        if self.task == "linkpred":
+            return self._train_epoch_linkpred(max_iterations)
         store0 = self.stores[0]
         order = self.epoch_rng.permutation(store0.train_nodes)
         nb = max(1, order.shape[0] // self.batch_size)
@@ -303,6 +387,125 @@ class ClusterTrainer:
         if self._needs_checkpoints():
             self._save_checkpoint()
         return stats
+
+    # -- replicated link prediction (sparse embeddings + row-grad sync) -------
+
+    def _train_epoch_linkpred(self, max_iterations: int | None) -> dict:
+        """One link-prediction epoch: every machine node processes the
+        *same* global pair batch each step (replicated data-parallel), so
+        the loss trajectory is bit-identical to the single-node trainer's
+        while still exercising the full gradient-averaging machinery."""
+        n_iter = self.iterations_per_epoch
+        if max_iterations is not None:
+            n_iter = min(n_iter, int(max_iterations))
+        t_start = max(node.sync() for node in self.nodes)
+        losses = [self._step_linkpred() for _ in range(n_iter)]
+        t_end = max(node.sync() for node in self.nodes)
+        self._epoch += 1
+        stats = {
+            "epoch": self._epoch - 1,
+            "mean_loss": float(np.mean(losses)) if losses else float("nan"),
+            "iterations": n_iter,
+            "epoch_time": t_end - t_start,
+        }
+        self.history.append(stats)
+        return stats
+
+    def _step_linkpred(self) -> float:
+        """One replicated link-prediction step across all machine nodes."""
+        src, dst, labels = sample_link_batch(
+            self.stores[0].csr, self.num_pairs, self._pair_rng
+        )
+        producers = []
+        collected = []
+        machine_losses = []
+        for i in range(self.num_machine_nodes):
+            node = self.nodes[i]
+            res = linkpred_forward(
+                node, self.models[i], self.samplers[i], self.embeddings[i],
+                src, dst, labels, 0, self._sample_rngs[i],
+                self._model_rngs[i], self._score_scale, charge=True,
+            )
+            machine_losses.append(float(res.loss.data))
+            self.models[i].zero_grad()
+            res.loss.backward()
+            sg = res.subgraph
+            train_t = self.models[i].estimate_train_time(sg)
+            clock = node.gpu_clock[0]
+            clock.advance(
+                train_t, phase="train", category="compute",
+                args={"edges": sg.total_edges(),
+                      "input_nodes": int(sg.input_nodes.shape[0])},
+            )
+            for r in range(1, node.num_gpus):
+                clk = node.gpu_clock[r]
+                clk.advance(res.t_sample, phase="sample")
+                clk.advance(res.t_gather, phase="gather")
+                clk.advance(train_t, phase="train")
+            producers.append((clock.now, train_t))
+            collected.append(self.sparse_optimizers[i].collect())
+        # dense encoder grads: float64-accumulate average (exact for the
+        # identical replicated grads), then the hierarchical sync charge
+        self._average_gradients_f64()
+        self.grad_sync.charge(producers, phase="allreduce")
+        for opt in self.optimizers:
+            opt.step()
+        # sparse row grads: union-average across replicas under the same
+        # float64 contract, then every replica applies the identical update
+        # (comm-lane push + touched-row state arithmetic on its own node)
+        averaged = average_row_grads(collected)
+        for sparse_opt in self.sparse_optimizers:
+            sparse_opt.apply(averaged, rank=0)
+        for node in self.nodes:
+            node.sync()
+        return float(np.mean(machine_losses))
+
+    def _average_gradients_f64(self) -> None:
+        """Average dense grads across replicas in float64, cast back.
+
+        Identical float32 inputs come back bitwise unchanged (``N*v`` is
+        exact in float64 for a 24-bit mantissa and the division recovers
+        ``v``), which the replicated link-prediction identity tests pin.
+        """
+        if self.num_machine_nodes <= 1:
+            return
+        params = [m.parameters() for m in self.models]
+        for group in zip(*params):
+            grads = [
+                p.grad if p.grad is not None else np.zeros_like(p.data)
+                for p in group
+            ]
+            acc = np.zeros(grads[0].shape, dtype=np.float64)
+            for g in grads:
+                acc += g.astype(np.float64)
+            mean = (acc / len(grads)).astype(np.float32)
+            for p in group:
+                p.grad = mean.copy()
+
+    def evaluate_linkpred(self, num_pairs: int = 2000) -> float:
+        """Held-out link-prediction AUC on machine node 0's replica.
+
+        Draws the same ``linkpred-eval`` stream as the single-node
+        trainer's :meth:`~repro.train.trainer.WholeGraphTrainer.\
+evaluate_linkpred`, so the two agree bitwise on identical state.
+        """
+        if self.task != "linkpred":
+            raise ValueError("evaluate_linkpred needs task='linkpred'")
+        rng = spawn_rng(self.seed, "linkpred-eval")
+        src, dst, labels = sample_link_batch(
+            self.stores[0].csr, num_pairs, rng
+        )
+        model = self.models[0]
+        model.eval()
+        eval_sampler = NeighborSampler(
+            self.stores[0], self.samplers[0].fanouts, charge=False
+        )
+        res = linkpred_forward(
+            self.nodes[0], model, eval_sampler, self.embeddings[0],
+            src, dst, labels, 0, rng, None, self._score_scale, charge=False,
+        )
+        model.train()
+        return roc_auc(res.scores.data, labels)
 
     def _make_executors(self) -> list[PipelinedExecutor]:
         return [
@@ -433,26 +636,37 @@ class ClusterTrainer:
             ],
             "recoveries": list(self.recoveries),
         }
+        cfg = {
+            "model": self.model_name,
+            "batch_size": self.batch_size,
+            "num_machine_nodes": self.num_machine_nodes,
+            "num_gpus_per_node": self.nodes[0].num_gpus,
+            "overlap": self.overlap,
+            "bucket_cap_mb": self.grad_sync.bucket_cap_mb,
+            "overlap_grad_sync": self.grad_sync.overlap,
+            "grad_buckets": self.grad_sync.num_buckets,
+            "fault_plan": (
+                self.fault_plan.to_config()
+                if self.fault_plan is not None and self.fault_plan
+                else None
+            ),
+            "recovery_policy": self.recovery_policy,
+        }
+        if self.task == "linkpred":
+            cfg["task"] = "linkpred"
+            cfg["embedding_dim"] = self.embedding_dim
+            cfg["num_pairs"] = self.num_pairs
+            cfg["sparse_optimizer"] = self.sparse_optim_name
+            merged["embedding"] = self.embeddings[0].stats_dict()
+            merged["sparse_state_bytes"] = (
+                self.sparse_optimizers[0].state_bytes()
+            )
         merged.update(extra or {})
-        plan = self.fault_plan
         return report_from_node(
             name,
             self.nodes[0],
             kind="train",
-            config={
-                "model": self.model_name,
-                "batch_size": self.batch_size,
-                "num_machine_nodes": self.num_machine_nodes,
-                "num_gpus_per_node": self.nodes[0].num_gpus,
-                "overlap": self.overlap,
-                "bucket_cap_mb": self.grad_sync.bucket_cap_mb,
-                "overlap_grad_sync": self.grad_sync.overlap,
-                "grad_buckets": self.grad_sync.num_buckets,
-                "fault_plan": (
-                    plan.to_config() if plan is not None and plan else None
-                ),
-                "recovery_policy": self.recovery_policy,
-            },
+            config=cfg,
             seed=self.seed,
             feature_stats=getattr(
                 self.stores[0].feature_tensor, "stats", None
@@ -464,12 +678,21 @@ class ClusterTrainer:
         )
 
     def assert_in_sync(self, atol: float = 1e-5) -> None:
-        """All machine-node replicas hold identical weights."""
+        """All machine-node replicas hold identical weights (and, for link
+        prediction, identical embedding tables)."""
         ref = self.models[0].state_dict()
         for i, m in enumerate(self.models[1:], start=1):
             for a, b in zip(ref, m.state_dict()):
                 if not np.allclose(a, b, atol=atol):
                     raise AssertionError(f"machine node {i} diverged")
+        if self.embeddings:
+            rows = np.arange(self.embeddings[0].num_rows, dtype=np.int64)
+            ref_rows = self.embeddings[0].read_rows(rows)
+            for i, emb in enumerate(self.embeddings[1:], start=1):
+                if not np.allclose(emb.read_rows(rows), ref_rows, atol=atol):
+                    raise AssertionError(
+                        f"machine node {i} embedding diverged"
+                    )
 
     def evaluate(self, nodes=None, batch_size: int | None = None) -> float:
         """Validation accuracy using machine node 0's replica."""

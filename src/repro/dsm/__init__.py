@@ -28,6 +28,7 @@ from repro.dsm.ipc import IpcHandle, ipc_get_mem_handle, ipc_open_mem_handle
 from repro.dsm.pointer_table import MemoryPointerTable
 from repro.dsm.whole_memory import WholeMemory
 from repro.dsm.whole_tensor import WholeTensor
+from repro.dsm.sparse_embedding import WholeEmbedding, dedup_row_grads
 from repro.dsm.feature_cache import FeatureCache
 from repro.dsm.host_tensor import HostPinnedTensor
 from repro.dsm.tiered_tensor import TieredFeatureCache, TieredTensor
@@ -41,6 +42,8 @@ __all__ = [
     "MemoryPointerTable",
     "WholeMemory",
     "WholeTensor",
+    "WholeEmbedding",
+    "dedup_row_grads",
     "FeatureCache",
     "HostPinnedTensor",
     "TieredTensor",

@@ -269,6 +269,19 @@ class WholeTensor:
                 out[mask] = self._parts[r][local_rows[mask]]
         return out
 
+    def scatter_no_cost(self, rows, values: np.ndarray) -> None:
+        """Functional scatter without clock charging (restore/update paths)."""
+        self._require_data()
+        rows = self._check_rows(rows)
+        values = np.asarray(values, dtype=self.dtype).reshape(
+            rows.size, self.num_cols
+        )
+        owners, local_rows = self._owners_and_local(rows)
+        for r in range(self.node.num_gpus):
+            mask = owners == r
+            if np.any(mask):
+                self._parts[r][local_rows[mask]] = values[mask]
+
     def scatter(
         self, rows, values: np.ndarray, rank: int, phase: str = "scatter"
     ) -> None:

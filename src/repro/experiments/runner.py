@@ -29,6 +29,7 @@ from repro.telemetry.run_report import (
 
 from repro.experiments import (
     ablations,
+    recsys,
     fig7_accuracy_curve,
     fig8_bandwidth,
     fig9_breakdown,
@@ -58,6 +59,7 @@ EXPERIMENTS = {
     "fig12": (fig12_utilization, {}),
     "fig13": (fig13_scaling, {"num_nodes": 20_000, "iterations": 2}),
     "ablations": (ablations, {}),
+    "recsys": (recsys, {"num_users": 600, "epochs": 6}),
 }
 
 

@@ -11,6 +11,11 @@ from repro.graph.builder import csr_from_chunks, from_edge_list
 from repro.graph.generators import rmat_edges, rmat_edges_chunked
 from repro.graph.partition import HashPartition, hash_partition
 from repro.graph.storage import MultiGpuGraphStore
+from repro.graph.bipartite import (
+    BipartiteDataset,
+    bipartite_edges,
+    load_bipartite_dataset,
+)
 from repro.graph.datasets import (
     DATASETS,
     DatasetSpec,
@@ -31,6 +36,9 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "SyntheticDataset",
+    "BipartiteDataset",
+    "bipartite_edges",
+    "load_bipartite_dataset",
     "load_dataset",
     "dataset_spec",
 ]

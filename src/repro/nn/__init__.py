@@ -18,6 +18,7 @@ from repro.nn import functional
 from repro.nn.module import Module, Parameter
 from repro.nn.linear import Linear
 from repro.nn.optim import SGD, Adam
+from repro.nn.sparse_optim import RowGrads, SparseAdam, SparseSGD, average_row_grads
 from repro.nn.layers import GCNConv, SAGEConv, GATConv, GINConv
 from repro.nn.models import GCN, GraphSage, GAT, GIN, build_model, MODEL_NAMES, EXTENDED_MODEL_NAMES
 
@@ -29,6 +30,10 @@ __all__ = [
     "Linear",
     "SGD",
     "Adam",
+    "RowGrads",
+    "SparseAdam",
+    "SparseSGD",
+    "average_row_grads",
     "GCNConv",
     "SAGEConv",
     "GATConv",

@@ -27,11 +27,13 @@ from repro.serve.batcher import (
 )
 from repro.serve.engine import InferenceEngine, ServeResult
 from repro.serve.model import FrozenModel
+from repro.serve.recsys import RecsysEngine
 from repro.serve.report import ServeReport, latency_summary
 
 __all__ = [
     "FrozenModel",
     "InferenceEngine",
+    "RecsysEngine",
     "MicroBatcher",
     "Request",
     "ServeReport",

@@ -23,21 +23,104 @@ import numpy as np
 
 from repro import config
 from repro.dsm.comm import Communicator
+from repro.dsm.sparse_embedding import WholeEmbedding
 from repro.faults import FaultInjector, FaultPlan, RankFailureError
 from repro.hardware import costmodel
 from repro.hardware.machine import SimNode
 from repro.hardware.spec import dgx_a100
+from repro.nn import functional as F
 from repro.nn.models import build_model
 from repro.nn.optim import Adam
+from repro.nn.sparse_optim import SparseAdam, SparseSGD
 from repro.nn.tensor import Tensor
+from repro.ops.negative_sampling import (
+    sample_negative_edges,
+    sample_positive_edges,
+)
 from repro.ops.neighbor_sampler import NeighborSampler
 from repro.telemetry import metrics
 from repro.train.checkpoint import load_checkpoint, save_checkpoint
 from repro.train.ddp import DistributedDataParallel, GradSyncModel
-from repro.train.metrics import PhaseTimes
+from repro.train.metrics import PhaseTimes, roc_auc
 from repro.train.pipeline import PipelinedExecutor, run_iteration, train_batch
 from repro.train.streaming import StreamingLoader
 from repro.utils.rng import RngPool
+
+#: sparse-optimizer names accepted by the link-prediction task
+SPARSE_OPTIMIZERS = {"adam": SparseAdam, "sgd": SparseSGD}
+
+
+def sample_link_batch(
+    csr, num_pairs: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One link-prediction batch: ``num_pairs`` positive edges plus the same
+    number of uniform negative corruptions, with 1/0 labels."""
+    src_p, dst_p = sample_positive_edges(csr, num_pairs, rng)
+    src_n, dst_n = sample_negative_edges(csr, num_pairs, rng)
+    src = np.concatenate([src_p, src_n])
+    dst = np.concatenate([dst_p, dst_n])
+    labels = np.concatenate([
+        np.ones(num_pairs, dtype=np.float32),
+        np.zeros(num_pairs, dtype=np.float32),
+    ])
+    return src, dst, labels
+
+
+@dataclass
+class LinkBatchResult:
+    """Forward outputs of one link-prediction batch."""
+
+    subgraph: object
+    scores: Tensor
+    loss: Tensor
+    t_sample: float = 0.0
+    t_gather: float = 0.0
+
+
+def linkpred_forward(
+    node,
+    model,
+    sampler: NeighborSampler,
+    embedding: WholeEmbedding,
+    src: np.ndarray,
+    dst: np.ndarray,
+    labels: np.ndarray,
+    rank: int,
+    sample_rng: np.random.Generator,
+    model_rng: np.random.Generator | None,
+    score_scale: float,
+    charge: bool = True,
+) -> LinkBatchResult:
+    """Encode the pair endpoints and score every (src, dst) pair.
+
+    The endpoints of all pairs are deduplicated into one seed set, sampled
+    and encoded once; scores are scaled dot products of the endpoint
+    embeddings against BCE-with-logits labels.  Shared by both trainers so
+    the single-node and cluster link-prediction steps run bit-identical
+    math.  With ``charge=True`` the sampler and the embedding gather
+    advance ``rank``'s clock under ``sample``/``gather``.
+    """
+    seeds, inverse = np.unique(
+        np.concatenate([src, dst]), return_inverse=True
+    )
+    clock = node.gpu_clock[rank]
+    t0 = clock.now
+    subgraph = sampler.sample(seeds, rank, sample_rng)
+    t1 = clock.now
+    if charge:
+        e = embedding.forward(subgraph.input_nodes, rank=rank, phase="gather")
+    else:
+        e = Tensor(embedding.gather_no_cost(subgraph.input_nodes))
+    t2 = clock.now
+    h = model(subgraph, e, model_rng)
+    left = inverse[: src.shape[0]]
+    right = inverse[src.shape[0]:]
+    scores = F.pairwise_dot(h, left, right) * score_scale
+    loss = F.binary_cross_entropy_with_logits(scores, labels)
+    return LinkBatchResult(
+        subgraph=subgraph, scores=scores, loss=loss,
+        t_sample=t1 - t0, t_gather=t2 - t1,
+    )
 
 
 @dataclass
@@ -92,6 +175,10 @@ class WholeGraphTrainer:
         fault_plan: FaultPlan | None = None,
         recovery_policy: str = "restart",
         checkpoint_dir: str | None = None,
+        task: str = "node",
+        embedding_dim: int | None = None,
+        num_pairs: int | None = None,
+        sparse_optimizer: str = "adam",
     ):
         """``layer_cost_factor`` scales the simulated *training-compute* time
         — 1.0 for WholeGraph's fused layers, >1 when the model is built from
@@ -129,7 +216,18 @@ class WholeGraphTrainer:
         across the surviving GPUs, re-buckets the gradient sync, and
         continues the epoch where it stopped (symmetric modes only).
         Transient faults (degraded links, stragglers, gather reply loss)
-        never change the trained weights — only simulated time."""
+        never change the trained weights — only simulated time.
+
+        ``task="linkpred"`` switches from node classification to
+        link-prediction training over a DSM-sharded trainable
+        :class:`~repro.dsm.sparse_embedding.WholeEmbedding` (``embedding_dim``
+        wide, default the store's feature dim): each step scores
+        ``num_pairs`` positive edges against as many uniform negatives
+        (BCE), the encoder's dense parameters ride the usual bucketed grad
+        sync, and the embedding's touched rows are updated by a sparse
+        optimizer (``sparse_optimizer`` in {'adam', 'sgd'}) whose row-grad
+        push rides the comm stream.  Runs in the sequential symmetric mode;
+        transient fault plans apply, permanent rank failures are rejected."""
         self.store = store
         self.node = store.node
         self.model_name = model_name
@@ -176,11 +274,59 @@ class WholeGraphTrainer:
         #: sequential and pipelined schedules consume both identically
         self._model_rng = self.rngs.named("dropout")
 
+        if task not in ("node", "linkpred"):
+            raise ValueError("task must be 'node' or 'linkpred'")
+        if task == "linkpred" and (
+            compute_ranks == "all" or overlap or streaming
+        ):
+            raise ValueError(
+                "link prediction runs in the sequential symmetric mode"
+            )
+        self.task = task
+
         init_rng = self.rngs.named("init")
-        self.model = build_model(
-            model_name, store.feature_dim, store.num_classes, init_rng,
-            hidden=hidden, num_layers=num_layers, dropout=dropout,
-        )
+        if task == "linkpred":
+            from repro.faults import RankFailure
+
+            if fault_plan is not None and fault_plan.of_kind(RankFailure):
+                raise ValueError(
+                    "link prediction supports transient fault plans only"
+                )
+            if sparse_optimizer not in SPARSE_OPTIMIZERS:
+                raise ValueError(
+                    f"sparse_optimizer must be one of "
+                    f"{sorted(SPARSE_OPTIMIZERS)}"
+                )
+            self.embedding_dim = (
+                int(embedding_dim) if embedding_dim else store.feature_dim
+            )
+            self.num_pairs = int(num_pairs) if num_pairs else self.batch_size
+            self.sparse_optim_name = sparse_optimizer
+            # the encoder maps gathered embedding rows into a `hidden`-dim
+            # score space; pairs are scored by scaled dot product
+            self.model = build_model(
+                model_name, self.embedding_dim, hidden, init_rng,
+                hidden=hidden, num_layers=num_layers, dropout=dropout,
+            )
+            self._score_scale = 1.0 / float(np.sqrt(hidden))
+            self.embedding = WholeEmbedding(
+                self.node, store.num_nodes, self.embedding_dim,
+                rng=self.rngs.named("embedding"),
+            )
+            self.sparse_optimizer = SPARSE_OPTIMIZERS[sparse_optimizer](
+                [self.embedding], lr=lr
+            )
+            self._pair_rng = self.rngs.named("linkpred-pairs")
+            self.iterations_per_epoch = max(
+                1, store.train_nodes.shape[0] // self.batch_size
+            )
+        else:
+            self.embedding = None
+            self.sparse_optimizer = None
+            self.model = build_model(
+                model_name, store.feature_dim, store.num_classes, init_rng,
+                hidden=hidden, num_layers=num_layers, dropout=dropout,
+            )
         self.optimizer = Adam(self.model.parameters(), lr=lr)
         if compute_ranks == "all":
             self.replicas = [self.model] + [
@@ -277,6 +423,12 @@ class WholeGraphTrainer:
         per-phase work while ``epoch_time`` reflects the overlap.
         """
         overlap = self.overlap if overlap is None else bool(overlap)
+        if self.task == "linkpred":
+            if overlap:
+                raise ValueError(
+                    "link prediction runs in the sequential schedule"
+                )
+            return self._train_epoch_linkpred(max_iterations)
         if overlap and self.compute_ranks == "all":
             raise ValueError(
                 "the pipelined schedule runs in the symmetric mode only"
@@ -542,6 +694,121 @@ class WholeGraphTrainer:
         phase_totals += res.times
         return res.loss
 
+    # -- link prediction over the DSM embedding table ---------------------------
+
+    def _train_epoch_linkpred(self, max_iterations: int | None) -> EpochStats:
+        """One link-prediction epoch (sequential symmetric schedule)."""
+        self.model.train()
+        n_iter = self.iterations_per_epoch
+        if max_iterations is not None:
+            n_iter = min(n_iter, int(max_iterations))
+        node = self.node
+        dev0 = node.gpu_memory[0].device
+        ar0 = node.timeline.phase_total("allreduce", dev0)
+        aw0 = node.timeline.phase_total("allreduce_wait", dev0)
+        hid0 = metrics.get_registry().total("grad_sync_hidden_seconds_total")
+        t_start = node.sync()
+        losses: list[float] = []
+        phase_totals = PhaseTimes()
+        for _ in range(n_iter):
+            losses.append(self._step_linkpred(phase_totals))
+            self._poll_faults()
+        t_end = node.sync()
+        stats = EpochStats(
+            epoch=self._epoch,
+            mean_loss=float(np.mean(losses)) if losses else float("nan"),
+            iterations=n_iter,
+            times=phase_totals,
+            epoch_time=t_end - t_start,
+            allreduce=node.timeline.phase_total("allreduce", dev0) - ar0,
+            allreduce_wait=(
+                node.timeline.phase_total("allreduce_wait", dev0) - aw0
+            ),
+            allreduce_hidden=(
+                metrics.get_registry().total(
+                    "grad_sync_hidden_seconds_total"
+                )
+                - hid0
+            ),
+        )
+        self._epoch += 1
+        self.history.append(stats)
+        return stats
+
+    def _step_linkpred(self, phase_totals: PhaseTimes) -> float:
+        """One link-prediction step: score pairs, sync dense grads through
+        the bucketed engine, push sparse row grads over the comm stream."""
+        node = self.node
+        clock = node.gpu_clock[0]
+        src, dst, labels = sample_link_batch(
+            self.store.csr, self.num_pairs, self._pair_rng
+        )
+        res = linkpred_forward(
+            node, self.model, self.sampler, self.embedding,
+            src, dst, labels, 0, self.rngs.rank(0), self._model_rng,
+            self._score_scale, charge=True,
+        )
+        loss_val = float(res.loss.data)
+        self.model.zero_grad()
+        res.loss.backward()
+        self.optimizer.step()
+        sg = res.subgraph
+        train_t = self.model.estimate_train_time(sg) * self.layer_cost_factor
+        clock.advance(
+            train_t, phase="train", category="compute",
+            args={"edges": sg.total_edges(),
+                  "input_nodes": int(sg.input_nodes.shape[0])},
+        )
+        reg = metrics.get_registry()
+        reg.counter("iterations_total", schedule="linkpred").inc(1)
+        reg.counter("phase_seconds_total", phase="sample").inc(res.t_sample)
+        reg.counter("phase_seconds_total", phase="gather").inc(res.t_gather)
+        reg.counter("phase_seconds_total", phase="train").inc(train_t)
+        for r in range(1, node.num_gpus):
+            clk = node.gpu_clock[r]
+            clk.advance(res.t_sample, phase="sample")
+            clk.advance(res.t_gather, phase="gather")
+            clk.advance(train_t, phase="train")
+        # dense encoder params: the bucketed grad-sync engine (the plan is
+        # built from model.parameters() only — the embedding is not a
+        # Parameter, so the sparse rows are skipped by construction)
+        self.grad_sync.charge(
+            producers=[(clock.now, train_t)],
+            phase="allreduce",
+        )
+        # sparse rows: dedup + scatter-add + comm-lane push, touched-row
+        # state update priced on the owning ranks
+        self.sparse_optimizer.step(rank=0)
+        node.sync()
+        phase_totals += PhaseTimes(
+            sample=res.t_sample, gather=res.t_gather, train=train_t
+        )
+        return loss_val
+
+    def evaluate_linkpred(self, num_pairs: int = 2000) -> float:
+        """Held-out link-prediction AUC over fresh positive/negative pairs.
+
+        Functional only (no clock charges); every call draws the same
+        ``linkpred-eval`` stream from its start, so repeated evaluations of
+        the same trained state agree bitwise.
+        """
+        if self.task != "linkpred":
+            raise ValueError("evaluate_linkpred needs task='linkpred'")
+        rng = self.rngs.named("linkpred-eval")
+        src, dst, labels = sample_link_batch(
+            self.store.csr, num_pairs, rng
+        )
+        self.model.eval()
+        eval_sampler = NeighborSampler(
+            self.store, self.sampler.fanouts, charge=False
+        )
+        res = linkpred_forward(
+            self.node, self.model, eval_sampler, self.embedding,
+            src, dst, labels, 0, rng, None, self._score_scale, charge=False,
+        )
+        self.model.train()
+        return roc_auc(res.scores.data, labels)
+
     def _epoch_pipelined(self, batches: list[np.ndarray],
                          phase_totals: PhaseTimes,
                          losses: list[float] | None = None) -> list[float]:
@@ -732,6 +999,18 @@ class WholeGraphTrainer:
         if self.streaming:
             cfg["streaming"] = True
             cfg["prefetch_depth"] = self.prefetch_depth
+        # link-prediction keys appear only for the recsys task, so the
+        # node-classification manifests (and goldens) stay byte-identical
+        if self.task == "linkpred":
+            cfg["task"] = "linkpred"
+            cfg["embedding_dim"] = self.embedding_dim
+            cfg["num_pairs"] = self.num_pairs
+            cfg["sparse_optimizer"] = self.sparse_optim_name
+            extra = {
+                "embedding": self.embedding.stats_dict(),
+                "sparse_state_bytes": self.sparse_optimizer.state_bytes(),
+                **(extra or {}),
+            }
         return report_from_node(
             name,
             self.node,

@@ -52,6 +52,23 @@ def seeded_rng(request) -> np.random.Generator:
 
 
 @pytest.fixture
+def record_rng_seed(request):
+    """Factory that stamps a (e.g. hypothesis-drawn) seed on the test item.
+
+    The sparse-optimizer identity properties draw their seeds from
+    hypothesis rather than ``seeded_rng``; recording each drawn seed here
+    makes a failure print the falsifying seed through the same
+    ``pytest_runtest_makereport`` hook.  Returns the seeded generator.
+    """
+
+    def record(seed: int) -> np.random.Generator:
+        request.node._rng_seed = int(seed)
+        return np.random.default_rng(int(seed))
+
+    return record
+
+
+@pytest.fixture
 def node() -> SimNode:
     """A fresh 8-GPU DGX-A100 model."""
     return SimNode()
@@ -84,6 +101,14 @@ def medium_dataset():
         "ogbn-products", num_nodes=3000, seed=7, feature_dim=16,
         num_classes=5,
     )
+
+
+@pytest.fixture(scope="session")
+def bipartite_dataset():
+    """A small user-item rating graph (session-cached; recsys suites)."""
+    from repro.graph import load_bipartite_dataset
+
+    return load_bipartite_dataset(num_users=400, num_items=150, seed=0)
 
 
 @pytest.fixture

@@ -1,6 +1,6 @@
 """Analyzer snapshots over the pinned golden manifests.
 
-The eight scrubbed reports under ``tests/golden/`` are the repo's timing
+The scrubbed reports under ``tests/golden/`` are the repo's timing
 contract; the files under ``tests/golden/analysis/`` pin what the
 performance analyzer *says* about them — the phase blame table, overlap
 split and what-if bounds of each.  Byte equality here means two things at

@@ -169,3 +169,124 @@ def test_csr_coo_roundtrip_exact(num_nodes, edges):
     assert Counter(zip(src.tolist(), dst.tolist())) == Counter(
         zip(s2.tolist(), d2.tolist())
     )
+
+
+# -- negative sampling: purity and exact counts -------------------------------------
+
+
+link_graphs = st.tuples(
+    st.integers(min_value=20, max_value=40),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=39),
+            st.integers(min_value=0, max_value=39),
+        ),
+        min_size=1,
+        max_size=80,
+    ),
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=0, max_value=2**31),
+)
+
+
+@given(link_graphs)
+def test_link_batch_negatives_never_positive(data):
+    """The uniform negative sampler only emits non-edges, non-self-loops,
+    and the batch carries exactly ``num_pairs`` of each label."""
+    from repro.train.trainer import sample_link_batch
+
+    num_nodes, edges, num_pairs, seed = data
+    s = np.array([min(a, num_nodes - 1) for a, _ in edges], dtype=np.int64)
+    d = np.array([min(b, num_nodes - 1) for _, b in edges], dtype=np.int64)
+    g = from_edge_list(s, d, num_nodes, undirected=False, dedup=True,
+                       remove_self_loops=False)
+    src, dst, labels = sample_link_batch(
+        g, num_pairs, np.random.default_rng(seed)
+    )
+    # exact counts: num_pairs positives then num_pairs negatives
+    assert src.shape == dst.shape == labels.shape == (2 * num_pairs,)
+    assert labels[:num_pairs].tolist() == [1.0] * num_pairs
+    assert labels[num_pairs:].tolist() == [0.0] * num_pairs
+    edge_set = set(zip(*(e.tolist() for e in g.subgraph_edges())))
+    for a, b in zip(src[:num_pairs], dst[:num_pairs]):
+        assert (int(a), int(b)) in edge_set  # positives are real edges
+    for a, b in zip(src[num_pairs:], dst[num_pairs:]):
+        assert int(a) != int(b)  # no self-loops
+        assert (int(a), int(b)) not in edge_set  # never a positive
+
+
+# -- embedding row -> shard routing is a partition ----------------------------------
+
+
+embedding_layouts = st.tuples(
+    st.integers(min_value=1, max_value=200),      # num_rows
+    st.sampled_from([1, 2, 3, 4, 8]),             # num_gpus
+    st.integers(min_value=0, max_value=2**31),    # seed
+)
+
+
+@given(embedding_layouts)
+def test_row_shard_routing_is_partition(data):
+    """Every table row is owned by exactly one rank, the per-rank shard
+    sizes tile the table, and values round-trip through the owners —
+    including after an elastic ``rebuild_on`` shrink."""
+    from repro.dsm.sparse_embedding import WholeEmbedding
+    from repro.hardware import SimNode, dgx_a100
+
+    num_rows, num_gpus, seed = data
+    node = SimNode(dgx_a100(num_gpus))
+    emb = WholeEmbedding(node, num_rows, 3, charge_setup=False)
+    rows = np.arange(num_rows, dtype=np.int64)
+    owners = emb.rank_of_row(rows)
+    assert owners.shape == (num_rows,)
+    assert np.all((owners >= 0) & (owners < num_gpus))
+    # shard sizes tile the table exactly: the routing is a partition
+    shard_rows = np.bincount(owners, minlength=num_gpus)
+    local_sizes = [
+        emb.table.local_part(r).shape[0] for r in range(num_gpus)
+    ]
+    assert shard_rows.tolist() == local_sizes
+    assert int(shard_rows.sum()) == num_rows
+    # values written through the routing come back verbatim, and survive
+    # re-sharding onto fewer GPUs
+    w = np.random.default_rng(seed).standard_normal(
+        (num_rows, 3)
+    ).astype(np.float32)
+    emb.write_rows(rows, w)
+    assert np.array_equal(emb.read_rows(rows), w)
+    if num_gpus > 1:
+        shrunk = emb.rebuild_on(SimNode(dgx_a100(1)), charge_setup=False)
+        assert np.array_equal(shrunk.read_rows(rows), w)
+
+
+# -- scatter-add dedup of duplicated row grads --------------------------------------
+
+
+duplicated_grads = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+             max_size=60),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2**31),
+)
+
+
+@given(duplicated_grads)
+def test_dedup_row_grads_matches_sequential_sum(data):
+    """``dedup_row_grads`` scatter-adds duplicates bit-identically to
+    summing each row's contributions one by one, in occurrence order."""
+    from repro.dsm.sparse_embedding import dedup_row_grads
+
+    row_list, dim, seed = data
+    rows = np.array(row_list, dtype=np.int64)
+    grads = np.random.default_rng(seed).standard_normal(
+        (rows.size, dim)
+    ).astype(np.float32)
+    uniq, summed, counts = dedup_row_grads(rows, grads)
+    assert np.array_equal(uniq, np.unique(rows))
+    assert int(counts.sum()) == rows.size
+    for i, r in enumerate(uniq):
+        acc = np.zeros(dim, dtype=np.float32)
+        for j in np.flatnonzero(rows == r):
+            acc = acc + grads[j]  # float32 adds, occurrence order
+        assert np.array_equal(summed[i], acc)
+        assert counts[i] == int((rows == r).sum())

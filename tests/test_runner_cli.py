@@ -13,8 +13,8 @@ def test_list_knows_every_experiment(capsys):
 
 
 def test_registry_covers_all_paper_artifacts():
-    # 5 tables + 7 figures + ablations
-    assert len(runner.EXPERIMENTS) == 13
+    # 5 tables + 7 figures + ablations + the recsys workload
+    assert len(runner.EXPERIMENTS) == 14
     for name, (module, _) in runner.EXPERIMENTS.items():
         assert hasattr(module, "run")
         assert hasattr(module, "report")
