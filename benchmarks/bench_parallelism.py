@@ -1,0 +1,219 @@
+"""Parallelism-plan crossover benchmark: where each mode wins.
+
+Two deterministic sweeps over the simulated clocks:
+
+- **depth sweep** — data-parallel vs GNNPipe-style pipeline parallelism
+  at growing model depth.  Shallow models lose to the pipeline's
+  per-micro-op launch overheads, activation transfers and fill/drain
+  bubbles; deep models amortise them while data parallelism keeps paying
+  a parameter-proportional all-reduce — the epoch-time ratio crosses 1
+  as depth grows (GNNPipe's headline claim).
+- **density sweep** — data-parallel mini-batch sampling vs CAGNET-style
+  1.5D full-graph training at growing average degree.  On sparse graphs
+  one partitioned full-graph pass moves less data than an epoch of
+  sampled mini-batches (whose frontiers re-fetch the same neighborhoods
+  batch after batch); on dense graphs sampling's fanout cap wins while
+  the full-graph SpMM pays for every edge — the ratio crosses 1 as
+  density grows (CAGNET's communication-avoidance regime).
+
+All numbers are simulated and bit-reproducible; the manifest is written
+to ``results/parallelism.json`` and CI diffs it against the committed
+``results/parallelism_baseline.json`` via ``compare_runs.py``.
+"""
+
+import json
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, run_once
+from repro.graph import MultiGpuGraphStore
+from repro.graph.builder import from_edge_list
+from repro.graph.datasets import SyntheticDataset, dataset_spec, load_dataset
+from repro.graph.generators import (
+    block_labels,
+    class_features,
+    homophilous_edges,
+)
+from repro.hardware import SimNode
+from repro.hardware.spec import dgx_a100
+from repro.telemetry import metrics
+from repro.telemetry.report import format_table
+from repro.train import WholeGraphTrainer
+from repro.train.plans import CagnetFullGraphPlan, PipelineParallelPlan
+from repro.utils.rng import spawn_rng
+
+DEPTHS = (2, 4, 8)
+DEGREES = (8, 32, 128)
+MICRO_BATCHES = 4
+NUM_GPUS = 4
+
+
+def _isolated(fn):
+    """Run ``fn`` against a fresh process metrics registry."""
+    prev = metrics.set_registry(metrics.MetricsRegistry())
+    try:
+        return fn()
+    finally:
+        metrics.set_registry(prev)
+
+
+# -- depth sweep: data-parallel vs pipeline ---------------------------------
+
+
+def _depth_trainer(depth: int, plan=None) -> WholeGraphTrainer:
+    ds = load_dataset("ogbn-products", num_nodes=3_000, seed=3,
+                      feature_dim=64, num_classes=10)
+    node = SimNode(dgx_a100(NUM_GPUS))
+    store = MultiGpuGraphStore(node, ds, seed=3)
+    return WholeGraphTrainer(
+        store, "graphsage", seed=3, batch_size=256, fanouts=[5] * depth,
+        hidden=128, num_layers=depth, plan=plan,
+    )
+
+
+def _depth_point(depth: int) -> dict:
+    dp = _isolated(
+        lambda: _depth_trainer(depth).train_epoch(max_iterations=4)
+    )
+    pp = _isolated(
+        lambda: _depth_trainer(
+            depth, plan=PipelineParallelPlan(micro_batches=MICRO_BATCHES)
+        ).train_epoch(max_iterations=4)
+    )
+    return {
+        "depth": depth,
+        "dp_epoch": dp.epoch_time,
+        "pipeline_epoch": pp.epoch_time,
+        "ratio": pp.epoch_time / dp.epoch_time,
+        "bubble": pp.extras["pipeline_bubble"],
+    }
+
+
+# -- density sweep: data-parallel sampling vs CAGNET full-graph -------------
+
+
+def _density_dataset(avg_degree: int, num_nodes: int = 2_000,
+                     seed: int = 3) -> SyntheticDataset:
+    """A labelled graph with controlled density and a 25% train split.
+
+    Built by hand (rather than ``load_dataset``) because the sweep knob is
+    exactly the average degree the named specs pin.
+    """
+    num_classes = 8
+    rng = spawn_rng(seed, "bench-parallelism", avg_degree)
+    src, dst = homophilous_edges(
+        num_nodes, int(avg_degree / 2 * num_nodes), num_classes, rng,
+        homophily=0.8,
+    )
+    labels = block_labels(num_nodes, num_classes)
+    features = class_features(labels, 64, rng)
+    graph = from_edge_list(src, dst, num_nodes, undirected=True, dedup=True)
+    perm = rng.permutation(num_nodes).astype(np.int64)
+    k = num_nodes // 4
+    v = num_nodes // 10
+    return SyntheticDataset(
+        spec=dataset_spec("ogbn-products"), graph=graph, features=features,
+        labels=labels, train_nodes=np.sort(perm[:k]),
+        val_nodes=np.sort(perm[k:k + v]),
+        test_nodes=np.sort(perm[k + v:k + 2 * v]),
+        seed=seed, num_classes=num_classes,
+    )
+
+
+def _density_trainer(ds: SyntheticDataset, plan=None) -> WholeGraphTrainer:
+    node = SimNode(dgx_a100(NUM_GPUS))
+    store = MultiGpuGraphStore(node, ds, seed=3)
+    return WholeGraphTrainer(
+        store, "gcn", seed=3, batch_size=256, fanouts=[10, 10],
+        hidden=64, num_layers=2, plan=plan,
+    )
+
+
+def _density_point(avg_degree: int) -> dict:
+    ds = _density_dataset(avg_degree)
+    dp = _isolated(lambda: _density_trainer(ds).train_epoch())
+    cg = _isolated(
+        lambda: _density_trainer(
+            ds, plan=CagnetFullGraphPlan()
+        ).train_epoch()
+    )
+    return {
+        "avg_degree": avg_degree,
+        "dp_epoch": dp.epoch_time,
+        "cagnet_epoch": cg.epoch_time,
+        "ratio": cg.epoch_time / dp.epoch_time,
+        "broadcast": cg.extras["broadcast"],
+    }
+
+
+def _run_all():
+    return (
+        [_depth_point(d) for d in DEPTHS],
+        [_density_point(d) for d in DEGREES],
+    )
+
+
+def test_parallelism(benchmark, emit):
+    depth_rows, density_rows = run_once(benchmark, _run_all)
+
+    lines = [
+        format_table(
+            ["layers", "data-parallel (s)", "pipeline (s)",
+             "pipeline/dp", "bubble (s)"],
+            [[r["depth"], r["dp_epoch"], r["pipeline_epoch"], r["ratio"],
+              r["bubble"]] for r in depth_rows],
+            title=f"Depth sweep: pipeline wins deep "
+                  f"(M={MICRO_BATCHES}, {NUM_GPUS} GPUs)",
+        ),
+        format_table(
+            ["avg degree", "data-parallel (s)", "CAGNET (s)",
+             "cagnet/dp", "broadcast (s)"],
+            [[r["avg_degree"], r["dp_epoch"], r["cagnet_epoch"],
+              r["ratio"], r["broadcast"]] for r in density_rows],
+            title="Density sweep: CAGNET full-graph wins sparse",
+        ),
+    ]
+    emit("parallelism", "\n".join(lines))
+
+    manifest = {
+        "name": "parallelism",
+        "phase_totals": {
+            **{f"depth{r['depth']}_dp": r["dp_epoch"] for r in depth_rows},
+            **{f"depth{r['depth']}_pipeline": r["pipeline_epoch"]
+               for r in depth_rows},
+            **{f"degree{r['avg_degree']}_dp": r["dp_epoch"]
+               for r in density_rows},
+            **{f"degree{r['avg_degree']}_cagnet": r["cagnet_epoch"]
+               for r in density_rows},
+        },
+        "notes": {
+            "depth_ratios": {str(r["depth"]): r["ratio"]
+                             for r in depth_rows},
+            "density_ratios": {str(r["avg_degree"]): r["ratio"]
+                               for r in density_rows},
+            "micro_batches": MICRO_BATCHES,
+            "num_gpus": NUM_GPUS,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "parallelism.json").write_text(
+        json.dumps(manifest, indent=2) + "\n"
+    )
+
+    # crossover gates: each mode must win its home regime and lose the
+    # other's (the tentpole's acceptance shape)
+    shallow, deep = depth_rows[0], depth_rows[-1]
+    assert shallow["ratio"] > 1.0, "data-parallel must win shallow models"
+    assert deep["ratio"] < 1.0, "pipeline must win deep models"
+    sparse, dense = density_rows[0], density_rows[-1]
+    assert sparse["ratio"] < 1.0, "CAGNET must win sparse graphs"
+    assert dense["ratio"] > 1.0, "sampling must win dense graphs"
+    # ratios trend monotonically toward each mode's regime
+    depth_ratios = [r["ratio"] for r in depth_rows]
+    assert depth_ratios == sorted(depth_ratios, reverse=True)
+    density_ratios = [r["ratio"] for r in density_rows]
+    assert density_ratios == sorted(density_ratios)
+    for r in depth_rows:
+        assert r["bubble"] > 0.0
+    for r in density_rows:
+        assert r["broadcast"] > 0.0

@@ -30,15 +30,14 @@ from repro.nn.models import build_model
 from repro.nn.optim import Adam
 from repro.nn.sparse_optim import average_row_grads
 from repro.ops.neighbor_sampler import NeighborSampler
-from repro.telemetry import metrics
-from repro.train.checkpoint import load_checkpoint, save_checkpoint
-from repro.train.ddp import GradSyncModel
+from repro.train.checkpoint import save_checkpoint
 from repro.train.metrics import roc_auc
 from repro.train.pipeline import (
     PipelinedExecutor,
     run_iteration,
     train_batch,
 )
+from repro.train.plans.cluster import ClusterDataParallelPlan
 from repro.train.trainer import (
     SPARSE_OPTIMIZERS,
     linkpred_forward,
@@ -72,6 +71,7 @@ class ClusterTrainer:
         embedding_dim: int | None = None,
         num_pairs: int | None = None,
         sparse_optimizer: str = "adam",
+        plan=None,
     ):
         """``overlap=True`` selects the double-buffered schedule on every
         machine node: each node prefetches its next batch's sample+gather
@@ -88,7 +88,13 @@ class ClusterTrainer:
         continues data-parallel over the survivors — replicas are already
         in sync, so no state moves; ``"restart"`` reloads the last
         epoch-boundary checkpoint into every replica and re-runs the epoch
-        (the failed node's process is assumed restarted in place)."""
+        (the failed node's process is assumed restarted in place).
+
+        ``plan`` is the parallelism plan owning gradient sync and fault
+        recovery; only the default
+        :class:`~repro.train.plans.cluster.ClusterDataParallelPlan` makes
+        sense across machine nodes today, but instances may be passed for
+        testing/extension."""
         if num_machine_nodes < 1:
             raise ValueError("need at least one machine node")
         if fanouts is None:
@@ -191,13 +197,15 @@ class ClusterTrainer:
         for m in self.models[1:]:
             m.load_state_dict(state)
         self.optimizers = [Adam(m.parameters(), lr=lr) for m in self.models]
-        #: bucketed hierarchical gradient-sync pricing over all machine nodes
-        self.grad_sync = GradSyncModel(
-            self.nodes,
-            [p.data.nbytes for p in self.models[0].parameters()],
-            bucket_cap_mb=bucket_cap_mb,
-            overlap=overlap_grad_sync,
-        )
+        self._bucket_cap_mb = bucket_cap_mb
+        self._overlap_grad_sync = bool(overlap_grad_sync)
+        # the plan owns gradient sync and fault recovery; its bind leaves
+        # ``self.grad_sync`` (the bucketed hierarchical pricing over all
+        # machine nodes) populated for reporting and test access
+        self.plan = ClusterDataParallelPlan() if plan is None else plan
+        if self.plan.trainer is not None:
+            raise ValueError("plan instances bind to a single trainer")
+        self.plan.bind(self)
         self.rngs = RngPool(seed, num_machine_nodes)
         self.epoch_rng = self.rngs.named("cluster-epochs")
         self.overlap = bool(overlap)
@@ -254,19 +262,6 @@ class ClusterTrainer:
 
     def _grad_nbytes(self) -> int:
         return sum(p.data.nbytes for p in self.models[0].parameters())
-
-    def _average_gradients(self) -> None:
-        """Functional half of the sync: average gradients across nodes."""
-        if self.num_machine_nodes > 1:
-            params = [m.parameters() for m in self.models]
-            for group in zip(*params):
-                grads = [
-                    p.grad if p.grad is not None else np.zeros_like(p.data)
-                    for p in group
-                ]
-                mean = np.mean(grads, axis=0)
-                for p in group:
-                    p.grad = mean.copy()
 
     def _overlapped_node_step(
         self,
@@ -363,14 +358,15 @@ class ClusterTrainer:
                 # functionally, then charges the hierarchical (NVLink +
                 # IB) schedule — nodes that got no batch this step stall
                 # at the collective barrier
-                self._average_gradients()
-                self.grad_sync.charge(producers, phase="allreduce")
+                self.plan.sync_gradients(producers)
                 for opt in self.optimizers:
                     opt.step()
                 cursor += len(group)
                 self._poll_faults()
             except RankFailureError as exc:
-                cursor, losses = self._recover(exc, cursor, losses)
+                _, cursor, losses = self.plan.recover(
+                    exc, None, cursor, losses
+                )
                 if self.overlap:
                     # staged prefetches target pre-failure batch indexes;
                     # rebuild and pay a fresh pipeline prologue
@@ -446,8 +442,7 @@ class ClusterTrainer:
             collected.append(self.sparse_optimizers[i].collect())
         # dense encoder grads: float64-accumulate average (exact for the
         # identical replicated grads), then the hierarchical sync charge
-        self._average_gradients_f64()
-        self.grad_sync.charge(producers, phase="allreduce")
+        self.plan.sync_gradients(producers, f64=True)
         for opt in self.optimizers:
             opt.step()
         # sparse row grads: union-average across replicas under the same
@@ -459,28 +454,6 @@ class ClusterTrainer:
         for node in self.nodes:
             node.sync()
         return float(np.mean(machine_losses))
-
-    def _average_gradients_f64(self) -> None:
-        """Average dense grads across replicas in float64, cast back.
-
-        Identical float32 inputs come back bitwise unchanged (``N*v`` is
-        exact in float64 for a 24-bit mantissa and the division recovers
-        ``v``), which the replicated link-prediction identity tests pin.
-        """
-        if self.num_machine_nodes <= 1:
-            return
-        params = [m.parameters() for m in self.models]
-        for group in zip(*params):
-            grads = [
-                p.grad if p.grad is not None else np.zeros_like(p.data)
-                for p in group
-            ]
-            acc = np.zeros(grads[0].shape, dtype=np.float64)
-            for g in grads:
-                acc += g.astype(np.float64)
-            mean = (acc / len(grads)).astype(np.float32)
-            for p in group:
-                p.grad = mean.copy()
 
     def evaluate_linkpred(self, num_pairs: int = 2000) -> float:
         """Held-out link-prediction AUC on machine node 0's replica.
@@ -522,105 +495,6 @@ evaluate_linkpred`, so the two agree bitwise on identical state.
         """Detect due permanent failures on any machine node."""
         if self.fault_injector is not None:
             self.fault_injector.poll_rank_failures(self._now())
-
-    def _recover(
-        self, exc: RankFailureError, cursor: int, losses: list[float]
-    ) -> tuple[int, list[float]]:
-        """Run the configured recovery policy after a machine-node loss."""
-        t_fail = self._now()
-        if self.recovery_policy == "shrink":
-            self._recover_shrink(exc)
-        else:
-            self._recover_restart()
-            cursor = 0
-            losses.clear()
-        t_after = self._now()
-        record = {
-            "time": t_fail,
-            "nodes": sorted({n for n, _ in exc.ranks}),
-            "policy": self.recovery_policy,
-            "recovery_seconds": t_after - t_fail,
-            "num_machine_nodes": self.num_machine_nodes,
-        }
-        self.recoveries.append(record)
-        metrics.get_registry().counter(
-            "recovery_seconds", policy=self.recovery_policy
-        ).inc(t_after - t_fail)
-        return cursor, losses
-
-    def _charge_recovery(self, node_indices, extra_dt: float = 0.0) -> None:
-        t_fail = self._now()
-        dt = (
-            config.FAULT_DETECT_SECONDS
-            + config.COMM_REINIT_SECONDS
-            + extra_dt
-        )
-        for i in node_indices:
-            node = self.nodes[i]
-            for clock in node.gpu_clock:
-                clock.wait_until(
-                    t_fail, phase="recovery_wait", category="fault"
-                )
-                clock.advance(
-                    dt, phase="recovery", busy=False, category="fault",
-                    args={"policy": self.recovery_policy},
-                )
-            node.sync(phase="recovery_wait")
-
-    def _recover_shrink(self, exc: RankFailureError) -> None:
-        """Drop the failed machine node(s); survivors continue in sync.
-
-        Replicas are identical at every optimizer step, so no state moves —
-        the survivors only pay failure detection and communicator re-init,
-        and the gradient sync re-buckets over the remaining nodes.
-        """
-        dead = {n for n, _ in exc.ranks}
-        keep = [
-            i for i, node in enumerate(self.nodes)
-            if node.node_id not in dead
-        ]
-        if not keep:
-            raise exc  # no surviving replica to continue with
-        self._charge_recovery(keep)
-        for name in (
-            "nodes", "stores", "samplers", "models", "optimizers",
-            "_model_rngs",
-        ):
-            setattr(
-                self, name, [getattr(self, name)[i] for i in keep]
-            )
-        self.num_machine_nodes = len(keep)
-        self.grad_sync = GradSyncModel(
-            self.nodes,
-            [p.data.nbytes for p in self.models[0].parameters()],
-            bucket_cap_mb=self.grad_sync.bucket_cap_mb,
-            overlap=self.grad_sync.overlap,
-        )
-        if self.fault_injector is not None:
-            self.fault_injector.install(self.nodes)
-
-    def _recover_restart(self) -> None:
-        """Reload the last epoch-boundary checkpoint into every replica.
-
-        The failed node's process is assumed restarted on the same
-        hardware: every node pays detection + re-init + the PCIe reload of
-        the checkpointed model+optimizer state, then the epoch re-runs.
-        """
-        from repro.hardware import costmodel
-
-        state_bytes = 3 * sum(
-            p.data.nbytes for p in self.models[0].parameters()
-        )
-        self._charge_recovery(
-            range(self.num_machine_nodes),
-            extra_dt=costmodel.pcie_host_to_gpu_time(
-                state_bytes, shared=False
-            ),
-        )
-        path = self._checkpoint_path()
-        if os.path.exists(path):
-            for model, opt in zip(self.models, self.optimizers):
-                load_checkpoint(path, model, opt)
 
     def run_report(self, name: str = "cluster",
                    accuracy: float | None = None,
@@ -696,8 +570,7 @@ evaluate_linkpred`, so the two agree bitwise on identical state.
 
     def evaluate(self, nodes=None, batch_size: int | None = None) -> float:
         """Validation accuracy using machine node 0's replica."""
-        from repro.nn import functional as F  # local: avoid cycle
-        from repro.nn.tensor import Tensor
+        from repro.nn.tensor import Tensor  # local: avoid cycle
 
         store = self.stores[0]
         if nodes is None:

@@ -328,3 +328,18 @@ NUM_LAYERS = 3
 HIDDEN_SIZE = 256
 FANOUT = 30
 GAT_NUM_HEADS = 4
+
+# ---------------------------------------------------------------------------
+# Parallelism plans (repro.train.plans)  [GNNPipe / CAGNET reproductions]
+# ---------------------------------------------------------------------------
+
+#: Default micro-batches per global batch in the pipeline-parallel plan's
+#: GPipe-style fill-drain schedule; the idle ("bubble") fraction of an
+#: S-stage pipeline is (S - 1) / (M + S - 1).  [public: GNNPipe §4]
+PIPELINE_MICRO_BATCHES = 4
+
+#: Default replication factor c of the CAGNET 1.5D full-graph plan.  The
+#: p ranks form a (p/c) x c grid; broadcast volume shrinks by c at the cost
+#: of a c-way partial-output reduce and c-fold activation memory.  c=1
+#: degenerates to the 1D block-row algorithm.  [public: CAGNET §4]
+CAGNET_REPLICATION = 1

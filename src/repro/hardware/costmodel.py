@@ -389,3 +389,35 @@ def chunked_ring_allreduce_time(
         + shard / eff_bw
     )
     return config.NCCL_COLL_LAUNCH_OVERHEAD + 2 * (num_ranks - 1) * per_step
+
+def ring_broadcast_time(
+    nbytes: float,
+    num_ranks: int,
+    bandwidth: float,
+    latency: float,
+    chunk_bytes: float | None = None,
+) -> float:
+    """One shard's pipelined ring broadcast to ``num_ranks - 1`` peers.
+
+    The CAGNET full-graph SpMM broadcasts each rank's feature block around
+    the replica-group ring; a pipelined broadcast relays the shard in
+    ``chunk_bytes`` pieces, so for realistic shard sizes the cost is one
+    traversal of the shard over the slowest link plus the per-hop latencies
+    — (N-1) steps, each moving the shard once (no reduce-scatter half, so
+    half the steps of :func:`chunked_ring_allreduce_time`).  Small shards
+    ride the same NCCL LL regime as the all-reduce.
+    """
+    if num_ranks <= 1 or nbytes <= 0:
+        return 0.0
+    if nbytes < config.NCCL_LL_THRESHOLD:
+        latency = latency * config.NCCL_LL_LATENCY_FACTOR
+        bandwidth = bandwidth * config.NCCL_LL_BW_FACTOR
+    chunk = config.RING_CHUNK_BYTES if chunk_bytes is None else chunk_bytes
+    chunks_per_step = max(1, math.ceil(nbytes / max(chunk, 1.0)))
+    eff_bw = bandwidth * config.ALLREDUCE_EFFICIENCY
+    per_step = (
+        latency
+        + chunks_per_step * config.RING_CHUNK_OVERHEAD
+        + nbytes / eff_bw
+    )
+    return config.NCCL_COLL_LAUNCH_OVERHEAD + (num_ranks - 1) * per_step

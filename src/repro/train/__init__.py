@@ -4,6 +4,8 @@
   gather → train pipeline with per-phase simulated timing;
 - :mod:`repro.train.trainer` — epoch loops, evaluation, the WholeGraph
   trainer (paper §III-D training flow);
+- :mod:`repro.train.plans` — composable parallelism plans (data-parallel,
+  GNNPipe-style pipelined model parallelism, hybrid, CAGNET full-graph);
 - :mod:`repro.train.streaming` — the out-of-core streaming prefetch loader
   (host-stream tier transfers, exposed-tail-only charging);
 - :mod:`repro.train.ddp` — data-parallel gradient synchronisation;
@@ -15,6 +17,13 @@ from repro.train.trainer import WholeGraphTrainer, EpochStats
 from repro.train.streaming import StreamingLoader
 from repro.train.ddp import DistributedDataParallel
 from repro.train.metrics import accuracy
+from repro.train.plans import (
+    CagnetFullGraphPlan,
+    DataParallelPlan,
+    HybridParallelPlan,
+    ParallelismPlan,
+    PipelineParallelPlan,
+)
 
 __all__ = [
     "IterationResult",
@@ -24,4 +33,9 @@ __all__ = [
     "StreamingLoader",
     "DistributedDataParallel",
     "accuracy",
+    "ParallelismPlan",
+    "DataParallelPlan",
+    "PipelineParallelPlan",
+    "HybridParallelPlan",
+    "CagnetFullGraphPlan",
 ]

@@ -1,0 +1,201 @@
+"""The multi-machine data-parallel plan behind :class:`ClusterTrainer`.
+
+Extracted from the cluster trainer so gradient synchronisation and fault
+recovery plug into the plan interface there too: the plan owns the
+hierarchical (NVLink-ring + InfiniBand-ring) grad-sync engine, the
+functional gradient averaging across machine-node replicas, and both
+recovery policies (elastic shrink over the surviving machines, or
+checkpoint restart into every replica).  The trainer keeps what is not
+strategy: datasets, replicas' model state, RNG streams and reporting.
+
+Byte-identity: every clock charge and metric increment happens in the
+order the pre-plan cluster trainer produced, so the cluster golden
+manifests are unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import config
+from repro.faults import RankFailureError
+from repro.telemetry import metrics
+from repro.train.checkpoint import load_checkpoint
+from repro.train.ddp import GradSyncModel
+from repro.train.plans.base import ParallelismPlan
+
+
+class ClusterDataParallelPlan(ParallelismPlan):
+    """Data parallelism over machine nodes: one full replica per DGX."""
+
+    name = "cluster_data_parallel"
+
+    def bind(self, trainer) -> None:
+        """Build the hierarchical grad-sync engine over all machine nodes."""
+        self.trainer = trainer
+        trainer.grad_sync = GradSyncModel(
+            trainer.nodes,
+            [p.data.nbytes for p in trainer.models[0].parameters()],
+            bucket_cap_mb=trainer._bucket_cap_mb,
+            overlap=trainer._overlap_grad_sync,
+        )
+
+    # -- gradient synchronisation ------------------------------------------
+
+    def sync_gradients(self, producers, f64: bool = False) -> None:
+        """Average gradients across replicas, then charge the collective.
+
+        ``f64`` selects the float64-accumulate average used by replicated
+        link prediction (exact for identical inputs); the timing side is
+        the same bucketed NVLink + IB schedule either way.
+        """
+        if f64:
+            self.average_gradients_f64()
+        else:
+            self.average_gradients()
+        self.trainer.grad_sync.charge(producers, phase="allreduce")
+
+    def average_gradients(self) -> None:
+        """Functional half of the sync: average gradients across nodes."""
+        t = self.trainer
+        if t.num_machine_nodes > 1:
+            params = [m.parameters() for m in t.models]
+            for group in zip(*params):
+                grads = [
+                    p.grad if p.grad is not None else np.zeros_like(p.data)
+                    for p in group
+                ]
+                mean = np.mean(grads, axis=0)
+                for p in group:
+                    p.grad = mean.copy()
+
+    def average_gradients_f64(self) -> None:
+        """Average dense grads across replicas in float64, cast back.
+
+        Identical float32 inputs come back bitwise unchanged (``N*v`` is
+        exact in float64 for a 24-bit mantissa and the division recovers
+        ``v``), which the replicated link-prediction identity tests pin.
+        """
+        t = self.trainer
+        if t.num_machine_nodes <= 1:
+            return
+        params = [m.parameters() for m in t.models]
+        for group in zip(*params):
+            grads = [
+                p.grad if p.grad is not None else np.zeros_like(p.data)
+                for p in group
+            ]
+            acc = np.zeros(grads[0].shape, dtype=np.float64)
+            for g in grads:
+                acc += g.astype(np.float64)
+            mean = (acc / len(grads)).astype(np.float32)
+            for p in group:
+                p.grad = mean.copy()
+
+    # -- fault recovery ----------------------------------------------------
+
+    def recover(self, exc: RankFailureError, batches, cursor, losses):
+        """Run the configured recovery policy after a machine-node loss.
+
+        ``batches`` passes through untranslated — every machine node holds
+        a full replica of the store, so stored IDs survive a shrink.
+        """
+        t = self.trainer
+        t_fail = t._now()
+        if t.recovery_policy == "shrink":
+            self._recover_shrink(exc)
+        else:
+            self._recover_restart()
+            cursor = 0
+            losses.clear()
+        t_after = t._now()
+        record = {
+            "time": t_fail,
+            "nodes": sorted({n for n, _ in exc.ranks}),
+            "policy": t.recovery_policy,
+            "recovery_seconds": t_after - t_fail,
+            "num_machine_nodes": t.num_machine_nodes,
+        }
+        t.recoveries.append(record)
+        metrics.get_registry().counter(
+            "recovery_seconds", policy=t.recovery_policy
+        ).inc(t_after - t_fail)
+        return batches, cursor, losses
+
+    def _charge_recovery(self, node_indices, extra_dt: float = 0.0) -> None:
+        """Charge detection + re-init (+ ``extra_dt``) to the given nodes."""
+        t = self.trainer
+        t_fail = t._now()
+        dt = (
+            config.FAULT_DETECT_SECONDS
+            + config.COMM_REINIT_SECONDS
+            + extra_dt
+        )
+        for i in node_indices:
+            node = t.nodes[i]
+            for clock in node.gpu_clock:
+                clock.wait_until(
+                    t_fail, phase="recovery_wait", category="fault"
+                )
+                clock.advance(
+                    dt, phase="recovery", busy=False, category="fault",
+                    args={"policy": t.recovery_policy},
+                )
+            node.sync(phase="recovery_wait")
+
+    def _recover_shrink(self, exc: RankFailureError) -> None:
+        """Drop the failed machine node(s); survivors continue in sync.
+
+        Replicas are identical at every optimizer step, so no state moves —
+        the survivors only pay failure detection and communicator re-init,
+        and the gradient sync re-buckets over the remaining nodes.
+        """
+        t = self.trainer
+        dead = {n for n, _ in exc.ranks}
+        keep = [
+            i for i, node in enumerate(t.nodes)
+            if node.node_id not in dead
+        ]
+        if not keep:
+            raise exc  # no surviving replica to continue with
+        self._charge_recovery(keep)
+        for name in (
+            "nodes", "stores", "samplers", "models", "optimizers",
+            "_model_rngs",
+        ):
+            setattr(t, name, [getattr(t, name)[i] for i in keep])
+        t.num_machine_nodes = len(keep)
+        t.grad_sync = GradSyncModel(
+            t.nodes,
+            [p.data.nbytes for p in t.models[0].parameters()],
+            bucket_cap_mb=t.grad_sync.bucket_cap_mb,
+            overlap=t.grad_sync.overlap,
+        )
+        if t.fault_injector is not None:
+            t.fault_injector.install(t.nodes)
+
+    def _recover_restart(self) -> None:
+        """Reload the last epoch-boundary checkpoint into every replica.
+
+        The failed node's process is assumed restarted on the same
+        hardware: every node pays detection + re-init + the PCIe reload of
+        the checkpointed model+optimizer state, then the epoch re-runs.
+        """
+        from repro.hardware import costmodel
+
+        t = self.trainer
+        state_bytes = 3 * sum(
+            p.data.nbytes for p in t.models[0].parameters()
+        )
+        self._charge_recovery(
+            range(t.num_machine_nodes),
+            extra_dt=costmodel.pcie_host_to_gpu_time(
+                state_bytes, shared=False
+            ),
+        )
+        path = t._checkpoint_path()
+        if os.path.exists(path):
+            for model, opt in zip(t.models, t.optimizers):
+                load_checkpoint(path, model, opt)

@@ -22,12 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import config
-from repro.dsm.comm import Communicator
 from repro.dsm.sparse_embedding import WholeEmbedding
-from repro.faults import FaultInjector, FaultPlan, RankFailureError
-from repro.hardware import costmodel
-from repro.hardware.machine import SimNode
-from repro.hardware.spec import dgx_a100
+from repro.faults import FaultInjector, FaultPlan
 from repro.nn import functional as F
 from repro.nn.models import build_model
 from repro.nn.optim import Adam
@@ -39,11 +35,9 @@ from repro.ops.negative_sampling import (
 )
 from repro.ops.neighbor_sampler import NeighborSampler
 from repro.telemetry import metrics
-from repro.train.checkpoint import load_checkpoint, save_checkpoint
-from repro.train.ddp import DistributedDataParallel, GradSyncModel
+from repro.train.checkpoint import save_checkpoint
 from repro.train.metrics import PhaseTimes, roc_auc
-from repro.train.pipeline import PipelinedExecutor, run_iteration, train_batch
-from repro.train.streaming import StreamingLoader
+from repro.train.plans.base import resolve_plan
 from repro.utils.rng import RngPool
 
 #: sparse-optimizer names accepted by the link-prediction task
@@ -140,6 +134,10 @@ class EpochStats:
     allreduce_wait: float = 0.0
     #: all-reduce seconds hidden behind backward compute (overlap win)
     allreduce_hidden: float = 0.0
+    #: plan-specific extra columns (pipeline bubbles, CAGNET collectives);
+    #: ``None`` for the data-parallel plan so its rows — and the golden
+    #: manifests built from them — keep their exact historical shape
+    extras: dict | None = None
 
     def as_row(self) -> dict[str, float]:
         out = {"epoch": self.epoch, "loss": self.mean_loss,
@@ -148,6 +146,8 @@ class EpochStats:
                "allreduce_wait": self.allreduce_wait,
                "allreduce_hidden": self.allreduce_hidden}
         out.update(self.times.as_dict())
+        if self.extras:
+            out.update(self.extras)
         return out
 
 
@@ -179,6 +179,7 @@ class WholeGraphTrainer:
         embedding_dim: int | None = None,
         num_pairs: int | None = None,
         sparse_optimizer: str = "adam",
+        plan=None,
     ):
         """``layer_cost_factor`` scales the simulated *training-compute* time
         — 1.0 for WholeGraph's fused layers, >1 when the model is built from
@@ -227,7 +228,14 @@ class WholeGraphTrainer:
         sync, and the embedding's touched rows are updated by a sparse
         optimizer (``sparse_optimizer`` in {'adam', 'sgd'}) whose row-grad
         push rides the comm stream.  Runs in the sequential symmetric mode;
-        transient fault plans apply, permanent rank failures are rejected."""
+        transient fault plans apply, permanent rank failures are rejected.
+
+        ``plan`` selects the parallelism strategy (:mod:`repro.train.plans`):
+        ``None`` or ``"data_parallel"`` is the default WholeGraph regime
+        described above; ``"pipeline"`` / ``"hybrid"`` / ``"cagnet"`` (or a
+        :class:`~repro.train.plans.ParallelismPlan` instance carrying its
+        own knobs) switch to layer-pipelined model parallelism or CAGNET
+        1.5D full-graph training — see ``docs/parallelism.md``."""
         self.store = store
         self.node = store.node
         self.model_name = model_name
@@ -241,6 +249,12 @@ class WholeGraphTrainer:
             fanouts = list(fanouts)
             num_layers = len(fanouts)
         self.sampler = NeighborSampler(store, fanouts)
+        self.hidden = int(hidden)
+        self.num_layers = int(num_layers)
+        self.dropout = float(dropout)
+        self.lr = float(lr)
+        self._bucket_cap_mb = bucket_cap_mb
+        self._overlap_grad_sync = bool(overlap_grad_sync)
         self.rngs = RngPool(seed, self.node.num_gpus)
         self.epoch_rng = self.rngs.named("epochs")
         if compute_ranks not in ("one", "all"):
@@ -328,34 +342,6 @@ class WholeGraphTrainer:
                 hidden=hidden, num_layers=num_layers, dropout=dropout,
             )
         self.optimizer = Adam(self.model.parameters(), lr=lr)
-        if compute_ranks == "all":
-            self.replicas = [self.model] + [
-                build_model(
-                    model_name, store.feature_dim, store.num_classes,
-                    self.rngs.named(f"replica{r}"),
-                    hidden=hidden, num_layers=num_layers, dropout=dropout,
-                )
-                for r in range(1, self.node.num_gpus)
-            ]
-            self.comm = Communicator(self.node)
-            self.ddp = DistributedDataParallel(
-                self.replicas, self.comm,
-                bucket_cap_mb=bucket_cap_mb,
-                overlap_grad_sync=overlap_grad_sync,
-            )
-            self.grad_sync = self.ddp.sync_model
-            self.optimizers = [Adam(r.parameters(), lr=lr) for r in self.replicas]
-            self.optimizers[0] = self.optimizer
-        else:
-            self.replicas = [self.model]
-            self.ddp = None
-            self.grad_sync = GradSyncModel(
-                self.node,
-                [p.data.size * p.data.itemsize
-                 for p in self.model.parameters()],
-                bucket_cap_mb=bucket_cap_mb,
-                overlap=overlap_grad_sync,
-            )
 
         self._epoch = 0
         self.history: list[EpochStats] = []
@@ -374,6 +360,14 @@ class WholeGraphTrainer:
         self._checkpoint_dir = checkpoint_dir
         #: recovery actions taken so far (time, ranks, policy, cost)
         self.recoveries: list[dict] = []
+
+        # -- parallelism plan ----------------------------------------------
+        # the plan owns replicas, gradient sync and epoch scheduling; it
+        # validates the schedule knobs against its strategy and populates
+        # self.replicas / self.ddp / self.grad_sync
+        self.plan = resolve_plan(plan)
+        self.plan.bind(self)
+
         if fault_plan is not None and fault_plan:
             self.fault_injector = FaultInjector(fault_plan).install(self.node)
             if self._needs_checkpoints():
@@ -433,101 +427,7 @@ class WholeGraphTrainer:
             raise ValueError(
                 "the pipelined schedule runs in the symmetric mode only"
             )
-        self.model.train()
-        batches = self._epoch_batches()
-        if max_iterations is not None:
-            batches = batches[:max_iterations]
-        t_epoch_start = self.node.sync()
-        losses: list[float] = []
-        phase_totals = PhaseTimes()
-        cursor = 0
-        # grad-sync accumulators survive a mid-epoch recovery (a shrink
-        # replaces the node and its timeline, so deltas are per attempt)
-        ar_acc = aw_acc = hid_acc = 0.0
-        while True:
-            node = self.node
-            dev0 = node.gpu_memory[0].device
-            ar0 = node.timeline.phase_total("allreduce", dev0)
-            aw0 = node.timeline.phase_total("allreduce_wait", dev0)
-            hid0 = metrics.get_registry().total(
-                "grad_sync_hidden_seconds_total"
-            )
-            done_before = len(losses)
-            try:
-                if self.streaming:
-                    self._epoch_streaming(
-                        batches[cursor:], phase_totals, losses
-                    )
-                    cursor = len(batches)
-                elif overlap:
-                    self._epoch_pipelined(
-                        batches[cursor:], phase_totals, losses
-                    )
-                    cursor = len(batches)
-                else:
-                    while cursor < len(batches):
-                        batch = batches[cursor]
-                        if self.compute_ranks == "all":
-                            loss = self._step_all_ranks(batch, cursor)
-                        else:
-                            loss = self._step_symmetric(batch, phase_totals)
-                        losses.append(loss)
-                        cursor += 1
-                        self._poll_faults()
-                break
-            except RankFailureError as exc:
-                if overlap or self.streaming:
-                    cursor += len(losses) - done_before
-                ar_acc += node.timeline.phase_total("allreduce", dev0) - ar0
-                aw_acc += (
-                    node.timeline.phase_total("allreduce_wait", dev0) - aw0
-                )
-                hid_acc += (
-                    metrics.get_registry().total(
-                        "grad_sync_hidden_seconds_total"
-                    )
-                    - hid0
-                )
-                batches, cursor, losses = self._recover(
-                    exc, batches, cursor, losses
-                )
-        node = self.node
-        t_epoch_end = node.sync()
-
-        if self.compute_ranks == "all":
-            phase_totals = PhaseTimes(
-                sample=node.timeline.phase_total("sample", node.gpu_memory[0].device),
-                gather=node.timeline.phase_total("gather", node.gpu_memory[0].device),
-                train=node.timeline.phase_total("train", node.gpu_memory[0].device),
-            )
-
-        stats = EpochStats(
-            epoch=self._epoch,
-            mean_loss=float(np.mean(losses)) if losses else float("nan"),
-            iterations=len(batches),
-            times=phase_totals,
-            epoch_time=t_epoch_end - t_epoch_start,
-            allreduce=(
-                ar_acc + node.timeline.phase_total("allreduce", dev0) - ar0
-            ),
-            allreduce_wait=(
-                aw_acc
-                + node.timeline.phase_total("allreduce_wait", dev0)
-                - aw0
-            ),
-            allreduce_hidden=(
-                hid_acc
-                + metrics.get_registry().total(
-                    "grad_sync_hidden_seconds_total"
-                )
-                - hid0
-            ),
-        )
-        self._epoch += 1
-        self.history.append(stats)
-        if self._needs_checkpoints():
-            self._save_checkpoint()
-        return stats
+        return self.plan.train_epoch(max_iterations, overlap)
 
     # -- fault polling & recovery -------------------------------------------------
 
@@ -543,156 +443,6 @@ class WholeGraphTrainer:
                 max(c.now for c in self.node.gpu_clock),
                 node_id=self.node.node_id,
             )
-
-    def _recover(
-        self,
-        exc: RankFailureError,
-        batches: list[np.ndarray],
-        cursor: int,
-        losses: list[float],
-    ) -> tuple[list[np.ndarray], int, list[float]]:
-        """Run the configured recovery policy after a rank failure.
-
-        Returns the (possibly translated) batches plus the batch cursor and
-        loss list to resume with; every recovery lands in ``recoveries``,
-        the ``recovery_seconds`` metric, and the trace.
-        """
-        t_fail = max(c.now for c in self.node.gpu_clock)
-        if self.recovery_policy == "shrink":
-            batches = self._recover_shrink(exc, batches)
-        else:
-            self._recover_restart()
-            cursor = 0
-            losses.clear()
-        t_after = max(c.now for c in self.node.gpu_clock)
-        record = {
-            "time": t_fail,
-            "ranks": [list(r) for r in exc.ranks],
-            "policy": self.recovery_policy,
-            "recovery_seconds": t_after - t_fail,
-            "num_gpus": self.node.num_gpus,
-        }
-        self.recoveries.append(record)
-        metrics.get_registry().counter(
-            "recovery_seconds", policy=self.recovery_policy
-        ).inc(t_after - t_fail)
-        return batches, cursor, losses
-
-    def _recover_restart(self) -> None:
-        """Checkpoint-based restart: reload the last epoch-boundary state.
-
-        The failed GPU is replaced (same GPU count); all ranks pay failure
-        detection, communicator re-init, DSM re-establishment and the PCIe
-        reload of the checkpointed model+optimizer state, then the epoch
-        re-runs from its first batch.
-        """
-        node = self.node
-        t = max(c.now for c in node.gpu_clock)
-        # weights + two Adam moments ride PCIe back to the device
-        state_bytes = 3 * sum(
-            p.data.nbytes for p in self.model.parameters()
-        )
-        dt = (
-            config.FAULT_DETECT_SECONDS
-            + config.COMM_REINIT_SECONDS
-            + costmodel.dsm_setup_time(node.total_memory_usage())
-            + costmodel.pcie_host_to_gpu_time(state_bytes, shared=False)
-        )
-        for clock in node.gpu_clock:
-            clock.wait_until(t, phase="recovery_wait", category="fault")
-            clock.advance(
-                dt, phase="recovery", busy=False, category="fault",
-                args={"policy": "restart"},
-            )
-        node.sync(phase="recovery_wait")
-        path = self._checkpoint_path()
-        if os.path.exists(path):
-            load_checkpoint(path, self.model, self.optimizer)
-            if self.compute_ranks == "all":
-                for replica, opt in zip(
-                    self.replicas[1:], self.optimizers[1:]
-                ):
-                    load_checkpoint(path, replica, opt)
-
-    def _recover_shrink(
-        self, exc: RankFailureError, batches: list[np.ndarray]
-    ) -> list[np.ndarray]:
-        """Elastic shrink: re-shard onto the surviving GPUs and continue.
-
-        Builds a replacement :class:`SimNode` with the survivors'
-        GPU count, fast-forwards its clocks to the failure time plus
-        detection/re-init, re-shards the graph store (WholeMemory setup and
-        feature reload are charged), re-buckets the gradient sync, and
-        translates the epoch's remaining batches into the new stored-ID
-        space.  Model and optimizer state survive in place — the symmetric
-        replica never lived on the failed GPU alone.
-        """
-        old_node = self.node
-        old_store = self.store
-        failed = {r for n, r in exc.ranks if n == old_node.node_id}
-        survivors = old_node.num_gpus - len(failed)
-        if survivors < 1:
-            raise exc  # nothing left to shrink onto
-        t_fail = max(c.now for c in old_node.gpu_clock)
-        new_node = SimNode(dgx_a100(survivors), node_id=old_node.node_id)
-        t0 = (
-            t_fail
-            + config.FAULT_DETECT_SECONDS
-            + config.COMM_REINIT_SECONDS
-        )
-        for clock in new_node.gpu_clock:
-            clock.wait_until(t0, phase="recovery_wait", category="fault")
-        new_node.host_clock.wait_until(
-            t0, phase="recovery_wait", category="fault"
-        )
-        # re-shard WholeMemory across the survivors (setup + PCIe reload
-        # are charged to the new clocks under dsm_setup/load)
-        new_store = old_store.rebuild_on(new_node, charge_setup=True)
-        # the hash partition depends on the GPU count: translate the
-        # remaining batches old-stored -> original -> new-stored
-        batches = [
-            new_store.partition.to_stored[
-                old_store.partition.to_original[batch]
-            ]
-            for batch in batches
-        ]
-        self.node = new_node
-        self.store = new_store
-        self.sampler = NeighborSampler(new_store, self.sampler.fanouts)
-        self.grad_sync = GradSyncModel(
-            new_node,
-            [p.data.size * p.data.itemsize
-             for p in self.model.parameters()],
-            bucket_cap_mb=self.grad_sync.bucket_cap_mb,
-            overlap=self.grad_sync.overlap,
-        )
-        if self.fault_injector is not None:
-            self.fault_injector.install(new_node)
-        new_node.sync(phase="recovery_wait")
-        return batches
-
-    def _step_symmetric(self, batch: np.ndarray,
-                        phase_totals: PhaseTimes) -> float:
-        """Rank 0 computes; other ranks are charged the same durations."""
-        node = self.node
-        res = run_iteration(
-            self.store, self.sampler, self.model, batch, 0,
-            self.rngs.rank(0), optimizer=self.optimizer, charge_train=True,
-            train_time_factor=self.layer_cost_factor,
-            model_rng=self._model_rng,
-        )
-        for r in range(1, node.num_gpus):
-            clk = node.gpu_clock[r]
-            clk.advance(res.times.sample, phase="sample")
-            clk.advance(res.times.gather, phase="gather")
-            clk.advance(res.times.train, phase="train")
-        self.grad_sync.charge(
-            producers=[(node.gpu_clock[0].now, res.times.train)],
-            phase="allreduce",
-        )
-        node.sync()
-        phase_totals += res.times
-        return res.loss
 
     # -- link prediction over the DSM embedding table ---------------------------
 
@@ -809,153 +559,6 @@ class WholeGraphTrainer:
         self.model.train()
         return roc_auc(res.scores.data, labels)
 
-    def _epoch_pipelined(self, batches: list[np.ndarray],
-                         phase_totals: PhaseTimes,
-                         losses: list[float] | None = None) -> list[float]:
-        """Double-buffered epoch: prefetch batch i+1 while batch i trains.
-
-        Same math, same RNG stream consumption order as the sequential
-        schedule — only the clock accounting overlaps: each iteration
-        charges ``max(train_i, sample_{i+1}+gather_{i+1})``, with the first
-        batch's prefetch fully exposed (the pipeline prologue).
-
-        ``losses`` (when given) is appended to in place, one entry per
-        *completed* batch — the recovery path uses its length as the batch
-        cursor when a rank failure interrupts the pipeline.
-        """
-        node = self.node
-        losses = [] if losses is None else losses
-        if not batches:
-            return losses
-        executor = PipelinedExecutor(self.store, self.sampler, rank=0)
-        sample_rng = self.rngs.rank(0)
-
-        executor.prefetch(batches[0], sample_rng, mirror_ranks=True)
-        phase_totals += PhaseTimes(
-            sample=executor.last_sample_time,
-            gather=executor.last_gather_time,
-        )
-        node.sync()
-        for i, batch in enumerate(batches):
-            sg, x_np = executor.take()
-            prefetch_t = 0.0
-            if i + 1 < len(batches):
-                prefetch_t = executor.prefetch(
-                    batches[i + 1], sample_rng, mirror_ranks=True
-                )
-                phase_totals += PhaseTimes(
-                    sample=executor.last_sample_time,
-                    gather=executor.last_gather_time,
-                )
-            # training of batch i runs concurrently with that prefetch
-            loss, _ = train_batch(
-                self.model, sg, x_np, self.store.labels[batch],
-                rng=self._model_rng, optimizer=self.optimizer,
-            )
-            train_t = (
-                self.model.estimate_train_time(sg) * self.layer_cost_factor
-            )
-            executor.charge_overlapped_train(train_t, prefetch_t)
-            self.grad_sync.charge(
-                producers=[(node.gpu_clock[0].now, train_t)],
-                phase="allreduce",
-            )
-            node.sync()
-            losses.append(loss)
-            phase_totals += PhaseTimes(train=train_t)
-            self._poll_faults()
-        return losses
-
-    def _epoch_streaming(self, batches: list[np.ndarray],
-                         phase_totals: PhaseTimes,
-                         losses: list[float] | None = None) -> list[float]:
-        """Out-of-core epoch: the host stream prefetches tier rows ahead.
-
-        Up to ``prefetch_depth`` batches are in flight: each is sampled on
-        the compute streams, its host/disk tier fetch launched on the host
-        stream, and consumed later behind the fetch event — the scheduler
-        charges only the exposed transfer tail (``host_fetch_wait``).  The
-        per-iteration ``node.sync()`` of the other schedules is deliberately
-        absent: the grad-sync barrier aligns the compute streams, while the
-        host clock is free to run ahead into future batches' transfers.
-
-        Same math, same RNG stream consumption order as the sequential
-        schedule (sampling and dropout both in batch order), so the losses
-        and trained weights are bit-identical.
-        """
-        node = self.node
-        losses = [] if losses is None else losses
-        if not batches:
-            return losses
-        loader = StreamingLoader(
-            self.store, self.sampler, rank=0,
-            prefetch_depth=self.prefetch_depth,
-        )
-        sample_rng = self.rngs.rank(0)
-        reg = metrics.get_registry()
-
-        depth = min(loader.prefetch_depth, len(batches))
-        for j in range(depth):
-            loader.prefetch(batches[j], sample_rng)
-            phase_totals += PhaseTimes(sample=loader.last_sample_time)
-        nxt = depth
-        for batch in batches:
-            sg, x_np = loader.take()
-            phase_totals += PhaseTimes(gather=loader.last_consume_time)
-            if nxt < len(batches):
-                loader.prefetch(batches[nxt], sample_rng)
-                phase_totals += PhaseTimes(sample=loader.last_sample_time)
-                nxt += 1
-            # training of this batch overlaps the prefetch just launched
-            loss, _ = train_batch(
-                self.model, sg, x_np, self.store.labels[batch],
-                rng=self._model_rng, optimizer=self.optimizer,
-            )
-            train_t = (
-                self.model.estimate_train_time(sg) * self.layer_cost_factor
-            )
-            for r in range(node.num_gpus):
-                node.streams.compute(r).launch(
-                    train_t, phase="train", category="compute",
-                    args={"edges": sg.total_edges(),
-                          "input_nodes": int(sg.input_nodes.shape[0])},
-                )
-            reg.counter("phase_seconds_total", phase="train").inc(train_t)
-            self.grad_sync.charge(
-                producers=[(node.gpu_clock[0].now, train_t)],
-                phase="allreduce",
-            )
-            losses.append(loss)
-            phase_totals += PhaseTimes(train=train_t)
-            self._poll_faults()
-        return losses
-
-    def _step_all_ranks(self, batch: np.ndarray, it: int) -> float:
-        """True DDP: per-rank batches, real gradient all-reduce."""
-        node = self.node
-        # split the global batch across ranks (pad by wrapping)
-        per_rank = np.array_split(batch, node.num_gpus)
-        losses = []
-        train_times = []
-        for rank in range(node.num_gpus):
-            seeds = per_rank[rank]
-            if seeds.size == 0:
-                seeds = batch[:1]
-            model = self.replicas[rank]
-            model.train()
-            res = run_iteration(
-                self.store, self.sampler, model, seeds, rank,
-                self.rngs.rank(rank), optimizer=None, charge_train=True,
-                compute_grads=True,
-            )
-            losses.append(res.loss)
-            train_times.append(res.times.train)
-        self.ddp.sync_gradients(phase="allreduce", train_times=train_times)
-        for opt in self.optimizers:
-            opt.step()
-        node.sync()
-        return float(np.mean(losses))
-
     # -- run artifacts ----------------------------------------------------------------
 
     def run_report(self, name: str = "wholegraph",
@@ -991,6 +594,9 @@ class WholeGraphTrainer:
             ),
             "recovery_policy": self.recovery_policy,
         }
+        # parallelism-plan keys appear only for non-default plans, so the
+        # data-parallel manifests (and the goldens) stay byte-identical
+        cfg.update(self.plan.report_config())
         # out-of-core knobs appear only when the tier is in play, so the
         # in-HBM manifests (and the goldens) stay byte-identical
         if getattr(self.store, "tier", None) == "tiered":
